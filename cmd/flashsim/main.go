@@ -1,0 +1,118 @@
+// Command flashsim runs one workload on one machine configuration and
+// prints the detailed result — the general-purpose front end to the
+// library.
+//
+// Usage:
+//
+//	flashsim -app fft -procs 4                    # hardware reference
+//	flashsim -app radix -radix 32 -procs 16
+//	flashsim -app ocean -sim solo-mipsy -mhz 225
+//	flashsim -app lu -sim simos-mxs -mem numa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/emitter"
+	"flashsim/internal/hw"
+	"flashsim/internal/machine"
+	"flashsim/internal/proto"
+	"flashsim/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		app      = flag.String("app", "fft", "workload: fft, radix, lu, ocean")
+		procs    = flag.Int("procs", 1, "processor count")
+		simName  = flag.String("sim", "hw", "hw, simos-mipsy, simos-mxs, solo-mipsy")
+		mhz      = flag.Int("mhz", 150, "Mipsy clock (150, 225, 300)")
+		mem      = flag.String("mem", "flashlite", "memory system: flashlite, numa")
+		radix    = flag.Int("radix", 256, "radix for the radix workload")
+		unplaced = flag.Bool("unplaced", false, "disable data placement (radix)")
+		tlbBlk   = flag.Bool("tlb-blocked", true, "FFT transpose blocked for the TLB")
+		seed     = flag.Uint64("seed", 1, "jitter/branch seed")
+		fullSize = flag.Bool("full", true, "full (1/16-paper) problem sizes")
+	)
+	flag.Parse()
+
+	var cfg machine.Config
+	switch *simName {
+	case "hw":
+		cfg = hw.Config(*procs, true)
+	case "simos-mipsy":
+		cfg = core.SimOSMipsy(*procs, *mhz, true)
+	case "simos-mxs":
+		cfg = core.SimOSMXS(*procs, true)
+	case "solo-mipsy":
+		cfg = core.SoloMipsy(*procs, *mhz, true)
+	default:
+		log.Fatalf("unknown simulator %q", *simName)
+	}
+	if *mem == "numa" {
+		cfg = core.WithNUMA(cfg)
+	}
+	cfg.Seed = *seed
+
+	var prog emitter.Program
+	switch *app {
+	case "fft":
+		logN := 16
+		if !*fullSize {
+			logN = 12
+		}
+		prog = apps.FFT(apps.FFTOpts{LogN: logN, Procs: *procs, TLBBlocked: *tlbBlk, Prefetch: true})
+	case "radix":
+		keys := 256 << 10
+		if !*fullSize {
+			keys = 32 << 10
+		}
+		prog = apps.Radix(apps.RadixOpts{Keys: keys, Radix: *radix, Procs: *procs, Unplaced: *unplaced, Verify: true})
+	case "lu":
+		n := 160
+		if !*fullSize {
+			n = 96
+		}
+		prog = apps.LU(apps.LUOpts{N: n, Procs: *procs, Prefetch: true})
+	case "ocean":
+		n := 128
+		if !*fullSize {
+			n = 64
+		}
+		prog = apps.Ocean(apps.OceanOpts{N: n, Procs: *procs, Prefetch: true})
+	default:
+		log.Fatalf("unknown workload %q", *app)
+	}
+
+	t0 := time.Now()
+	res, err := machine.Run(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(t0)
+
+	fmt.Printf("%s on %s, %d processor(s)\n", prog.FullName(), cfg.Name, *procs)
+	fmt.Printf("  parallel section: %.3f ms simulated\n", res.ExecSeconds()*1e3)
+	fmt.Printf("  total:            %.3f ms simulated (%v wall, %.1fM instr/s)\n",
+		float64(res.Total)/sim.TickHz*1e3, wall.Round(time.Millisecond),
+		float64(res.Instructions)/wall.Seconds()/1e6)
+	fmt.Printf("  instructions:     %d\n", res.Instructions)
+	fmt.Printf("  L1 miss rate:     %.2f%%\n", 100*res.L1MissRate())
+	fmt.Printf("  L2 miss rate:     %.2f%%\n", 100*res.L2MissRate())
+	fmt.Printf("  TLB misses:       %d\n", res.TLBMisses)
+	fmt.Printf("  pages mapped:     %d\n", res.PagesMapped)
+	fmt.Printf("  protocol cases:\n")
+	for c := proto.Case(0); c < proto.NumCases; c++ {
+		if res.CaseCounts[c] > 0 {
+			fmt.Printf("    %-22s %d\n", c, res.CaseCounts[c])
+		}
+	}
+	if res.Dir.StaleInvals > 0 {
+		fmt.Printf("  stale invalidations: %d\n", res.Dir.StaleInvals)
+	}
+}

@@ -1,0 +1,108 @@
+// Command snbench runs the microbenchmark suite — dependent loads for
+// the five protocol cases, the TLB-miss timer, and the restart-time
+// (independent load) test — on the hardware reference and, optionally,
+// on one of the study simulators.
+//
+// Usage:
+//
+//	snbench                    # hardware reference
+//	snbench -sim simos-mipsy   # also simos-mipsy | simos-mxs | solo-mipsy
+//	snbench -mhz 225           # simulator clock
+//	snbench -tuned             # calibrate the simulator first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flashsim/internal/core"
+	"flashsim/internal/machine"
+	"flashsim/internal/proto"
+	"flashsim/internal/snbench"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		simName = flag.String("sim", "", "simulator to compare: simos-mipsy, simos-mxs, solo-mipsy")
+		mhz     = flag.Int("mhz", 150, "simulator clock (150, 225, 300)")
+		tuned   = flag.Bool("tuned", false, "calibrate the simulator before measuring")
+	)
+	flag.Parse()
+
+	ref := core.NewReference(4, true)
+	cal := core.NewCalibrator(ref)
+
+	fmt.Println("Dependent loads (ns per load):")
+	hwLat, err := cal.DependentLoadLatencies()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cases := []proto.Case{
+		proto.LocalClean, proto.LocalDirtyRemote, proto.RemoteClean,
+		proto.RemoteDirtyHome, proto.RemoteDirtyRemote,
+	}
+
+	var simCfg *machine.Config
+	switch *simName {
+	case "":
+	case "simos-mipsy":
+		c := core.SimOSMipsy(4, *mhz, true)
+		simCfg = &c
+	case "simos-mxs":
+		c := core.SimOSMXS(4, true)
+		simCfg = &c
+	case "solo-mipsy":
+		c := core.SoloMipsy(4, *mhz, true)
+		simCfg = &c
+	default:
+		log.Fatalf("unknown simulator %q", *simName)
+	}
+	if simCfg != nil && *tuned {
+		calRes, err := cal.Calibrate(*simCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t := calRes.Apply(*simCfg)
+		simCfg = &t
+		fmt.Println("calibration report:")
+		for _, a := range calRes.Report {
+			fmt.Printf("  %v\n", a)
+		}
+	}
+
+	for _, pc := range cases {
+		fmt.Printf("  %-22s hw %6.0f", pc, hwLat[pc])
+		if simCfg != nil {
+			simNS, err := core.SimDepLatency(*simCfg, pc)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("   %s %6.0f (%.2f)", simCfg.Name, simNS, simNS/hwLat[pc])
+		}
+		fmt.Println()
+	}
+
+	hwMeas, err := ref.MeasureAt(snbench.TLBTimer(0, 0, 0), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hwTLB := snbench.TLBHandlerCycles(hwMeas.Runs[0], ref.ConfigAt(1).ClockMHz, 0, 0, 0)
+	fmt.Printf("TLB refill: hw %.1f cycles", hwTLB)
+	if simCfg != nil {
+		simTLB, err := core.SimTLBCycles(*simCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   %s %.1f cycles", simCfg.Name, simTLB)
+	}
+	fmt.Println()
+
+	restart, err := ref.MeasureAt(snbench.Restart(0), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Restart (independent loads): hw %.0f ns/load\n",
+		snbench.ThroughputNSPerLoad(restart.Runs[0], 0))
+}

@@ -1,0 +1,62 @@
+// Command speedup reproduces the trend studies: Figure 5 (FFT), Figure
+// 6 (Radix-Sort), and Figure 7 (unplaced Radix-Sort across memory-system
+// models).
+//
+// Usage:
+//
+//	speedup -figure 5
+//	speedup -figure 6
+//	speedup -figure 7
+//	speedup -all [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flashsim/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		all    = flag.Bool("all", false, "run figures 5, 6, and 7")
+		figure = flag.Int("figure", 0, "run figure 5, 6, or 7")
+		quick  = flag.Bool("quick", false, "use reduced problem sizes")
+	)
+	flag.Parse()
+
+	scale := harness.ScaleFull
+	if *quick {
+		scale = harness.ScaleQuick
+	}
+	s := harness.NewSession(scale)
+
+	ran := false
+	runFig := func(n int, f func() (string, error)) {
+		ran = true
+		t0 := time.Now()
+		text, err := f()
+		if err != nil {
+			log.Fatalf("figure %d: %v", n, err)
+		}
+		fmt.Println(text)
+		fmt.Printf("[figure %d took %v]\n\n", n, time.Since(t0).Round(time.Millisecond))
+	}
+	if *all || *figure == 5 {
+		runFig(5, func() (string, error) { _, t, err := s.Figure5(); return t, err })
+	}
+	if *all || *figure == 6 {
+		runFig(6, func() (string, error) { _, t, err := s.Figure6(); return t, err })
+	}
+	if *all || *figure == 7 {
+		runFig(7, func() (string, error) { _, t, err := s.Figure7(); return t, err })
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,76 @@
+// Command tune closes the simulation loop for one simulator
+// configuration: it runs the snbench microbenchmarks against the
+// hardware reference, fits the simulator's parameters, and prints the
+// calibration report and the before/after dependent-load table.
+//
+// Usage:
+//
+//	tune -sim simos-mipsy -mhz 225
+//	tune -sim simos-mxs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flashsim/internal/core"
+	"flashsim/internal/machine"
+	"flashsim/internal/proto"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		simName = flag.String("sim", "simos-mipsy", "simos-mipsy, simos-mxs, solo-mipsy")
+		mhz     = flag.Int("mhz", 150, "Mipsy clock (150, 225, 300)")
+	)
+	flag.Parse()
+
+	var cfg machine.Config
+	switch *simName {
+	case "simos-mipsy":
+		cfg = core.SimOSMipsy(4, *mhz, true)
+	case "simos-mxs":
+		cfg = core.SimOSMXS(4, true)
+	case "solo-mipsy":
+		cfg = core.SoloMipsy(4, *mhz, true)
+	default:
+		log.Fatalf("unknown simulator %q", *simName)
+	}
+
+	ref := core.NewReference(4, true)
+	cal := core.NewCalibrator(ref)
+	fmt.Printf("calibrating %s against the hardware reference...\n", cfg.Name)
+	c, err := cal.Calibrate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nadjustments:")
+	for _, a := range c.Report {
+		fmt.Printf("  %v\n", a)
+	}
+
+	hwLat, err := cal.DependentLoadLatencies()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuned := c.Apply(cfg)
+	fmt.Println("\ndependent loads (ns; relative to hardware):")
+	fmt.Printf("  %-22s %8s %16s %16s\n", "case", "hw", "untuned", "tuned")
+	for _, pc := range []proto.Case{
+		proto.LocalClean, proto.LocalDirtyRemote, proto.RemoteClean,
+		proto.RemoteDirtyHome, proto.RemoteDirtyRemote,
+	} {
+		u, err := core.SimDepLatency(cfg, pc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tn, err := core.SimDepLatency(tuned, pc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s %8.0f %8.0f (%.2f) %8.0f (%.2f)\n",
+			pc, hwLat[pc], u, u/hwLat[pc], tn, tn/hwLat[pc])
+	}
+}

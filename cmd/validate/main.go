@@ -1,0 +1,92 @@
+// Command validate reproduces the paper's evaluation: Tables 1-3,
+// Figures 1-4, and the in-text experiments. Speedup figures (5-7) live
+// in cmd/speedup.
+//
+// Usage:
+//
+//	validate -all            # every table, figure, and experiment
+//	validate -table 3        # one table
+//	validate -figure 2       # one figure
+//	validate -experiment tlb # tlb | blocking | muldiv | defects
+//	validate -quick          # reduced problem sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"flashsim/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		all        = flag.Bool("all", false, "run every table, figure, and experiment")
+		table      = flag.Int("table", 0, "render table 1, 2, or 3")
+		figure     = flag.Int("figure", 0, "run figure 1-4")
+		experiment = flag.String("experiment", "", "run an in-text experiment: tlb, blocking, muldiv, defects")
+		quick      = flag.Bool("quick", false, "use reduced problem sizes")
+	)
+	flag.Parse()
+
+	scale := harness.ScaleFull
+	if *quick {
+		scale = harness.ScaleQuick
+	}
+	s := harness.NewSession(scale)
+
+	ran := false
+	timed := func(name string, f func() (string, error)) {
+		ran = true
+		t0 := time.Now()
+		text, err := f()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Println(text)
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *all || *table == 1 {
+		ran = true
+		fmt.Println(harness.Table1())
+	}
+	if *all || *table == 2 {
+		ran = true
+		fmt.Println(harness.Table2(scale))
+	}
+	if *all || *table == 3 {
+		timed("table 3", func() (string, error) { _, t, err := s.Table3(); return t, err })
+	}
+	if *all || *figure == 1 {
+		timed("figure 1", func() (string, error) { _, t, err := s.Figure1(); return t, err })
+	}
+	if *all || *figure == 2 {
+		timed("figure 2", func() (string, error) { _, t, err := s.Figure2(); return t, err })
+	}
+	if *all || *figure == 3 {
+		timed("figure 3", func() (string, error) { _, t, err := s.Figure3(); return t, err })
+	}
+	if *all || *figure == 4 {
+		timed("figure 4", func() (string, error) { _, t, err := s.Figure4(); return t, err })
+	}
+	if *all || *experiment == "tlb" {
+		timed("experiment tlb", func() (string, error) { _, t, err := s.ExperimentTLBCost(); return t, err })
+	}
+	if *all || *experiment == "blocking" {
+		timed("experiment blocking", func() (string, error) { _, t, err := s.ExperimentBlockingFixes(); return t, err })
+	}
+	if *all || *experiment == "muldiv" {
+		timed("experiment muldiv", func() (string, error) { _, t, err := s.ExperimentMulDiv(); return t, err })
+	}
+	if *all || *experiment == "defects" {
+		timed("experiment defects", func() (string, error) { return s.ExperimentDefects() })
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,15 @@
+// Package flashsim reproduces "FLASH vs. (Simulated) FLASH: Closing the
+// Simulation Loop" (Gibson, Kunz, Ofelt, Horowitz, Hennessy, Heinrich;
+// ASPLOS 2000): a study of how accurately a family of architectural
+// simulators — Solo/Mipsy, SimOS-Mipsy, SimOS-MXS over the FlashLite and
+// generic NUMA memory-system models — predicts the performance of the
+// Stanford FLASH multiprocessor, and of the microbenchmark-driven tuning
+// loop that closes the gap.
+//
+// The FLASH hardware is long gone, so the gold standard is a
+// maximum-fidelity reference model (internal/hw); see DESIGN.md for the
+// substitution argument and the system inventory, EXPERIMENTS.md for
+// paper-vs-measured results on every table and figure, and README.md to
+// get started. The benchmarks in this package regenerate each table and
+// figure at reduced problem sizes.
+package flashsim

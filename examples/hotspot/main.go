@@ -1,0 +1,54 @@
+// Hotspot sensitivity: how much does the memory-system model matter?
+// (§3.3, Figure 7.)
+//
+// Radix-Sort with data placement disabled homes every page on node 0,
+// creating a hotspot at that node's controller. The detailed FlashLite
+// model queues requests at the MAGIC protocol processor and predicts the
+// damage; the generic NUMA model — which simulates latencies and memory
+// contention but "does not model occupancy of the directory controller
+// beyond the normal latency path" — misses most of it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/machine"
+)
+
+func run(cfg machine.Config, procs int, unplaced bool) machine.Result {
+	cfg.Procs = procs
+	res, err := machine.Run(cfg, apps.Radix(apps.RadixOpts{
+		Keys: 64 << 10, Radix: 32, Procs: procs, Unplaced: unplaced,
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	flashlite := core.SimOSMipsy(1, 225, true)
+	numa := core.WithNUMA(core.SimOSMipsy(1, 225, true))
+
+	fmt.Println("unplaced Radix-Sort (all data homed on node 0), 16 processors:")
+	for _, m := range []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"FlashLite (occupancy modeled)", flashlite},
+		{"NUMA (latency only)", numa},
+	} {
+		base := run(m.cfg, 1, true)
+		hot := run(m.cfg, 16, true)
+		placed := run(m.cfg, 16, false)
+		speedupHot := float64(base.Exec) / float64(hot.Exec)
+		speedupPlaced := float64(base.Exec) / float64(placed.Exec)
+		fmt.Printf("  %-32s speedup %5.2f (hotspot)  vs %5.2f (placed)\n",
+			m.name, speedupHot, speedupPlaced)
+	}
+	fmt.Println("\nboth models predict that the hotspot hurts; only the occupancy-modeling")
+	fmt.Println("one predicts how much — the paper measured NUMA 31% optimistic.")
+}

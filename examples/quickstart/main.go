@@ -1,0 +1,44 @@
+// Quickstart: run one SPLASH-2 kernel on the simulated FLASH hardware
+// and on an architectural simulator, and compare the predictions — the
+// smallest possible version of the paper's question: "how well does the
+// simulator predict the machine?"
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/machine"
+)
+
+func main() {
+	const procs = 4
+	fft := func() (p apps.FFTOpts) {
+		return apps.FFTOpts{LogN: 14, Procs: procs, TLBBlocked: true, Prefetch: true}
+	}
+
+	// The "hardware": a maximum-fidelity machine measured like real
+	// hardware — several seeded runs, averaged.
+	ref := core.NewReference(procs, true)
+	hw, err := ref.Measure(apps.FFT(fft()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FLASH hardware:    %.3f ms (mean of %d runs, min %.3f, max %.3f)\n",
+		hw.MeanSeconds()*1e3, len(hw.Runs),
+		float64(hw.Min)/900e6*1e3, float64(hw.Max)/900e6*1e3)
+
+	// A simulator: SimOS-Mipsy at 225 MHz (the 1.5x clock trick that
+	// compensates an in-order model for unmodeled ILP).
+	sim := core.SimOSMipsy(procs, 225, true)
+	res, err := machine.Run(sim, apps.FFT(fft()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := float64(res.Exec) / float64(hw.Mean)
+	fmt.Printf("%s: %.3f ms  -> relative execution time %.2f\n",
+		sim.Name, res.ExecSeconds()*1e3, rel)
+	fmt.Println("(1.0 = perfect prediction; below 1.0 the simulator is optimistic)")
+}

@@ -1,0 +1,63 @@
+// Trend study: do simulators predict *speedup* even when their absolute
+// predictions are off? (§3.2.) This example sweeps FFT from 1 to 16
+// processors on the hardware reference and on two simulators — the
+// out-of-order SimOS-MXS and the in-order SimOS-Mipsy over-driven at
+// 300 MHz, whose inflated memory-request rate invents contention the
+// hardware never sees (the Figure 5 warning).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/emitter"
+)
+
+func main() {
+	procs := []int{1, 2, 4, 8, 16}
+	w := core.Workload{
+		Name: "fft",
+		Make: func(p int) emitter.Program {
+			return apps.FFT(apps.FFTOpts{LogN: 14, Procs: p, TLBBlocked: true, Prefetch: true})
+		},
+	}
+
+	ref := core.NewReference(16, true)
+	ref.Repeats = 3
+	ta := core.NewTrendAnalyzer(ref)
+
+	hw, err := ta.HardwareSpeedup(w, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curves := []core.Curve{hw}
+	mxs, err := ta.SimSpeedup(core.SimOSMXS(1, true), w, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m300, err := ta.SimSpeedup(core.SimOSMipsy(1, 300, true), w, procs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	curves = append(curves, mxs, m300)
+
+	fmt.Printf("%-24s", "procs")
+	for _, p := range procs {
+		fmt.Printf("%8d", p)
+	}
+	fmt.Println()
+	for _, c := range curves {
+		fmt.Printf("%-24s", c.Label)
+		for _, s := range c.Speedup {
+			fmt.Printf("%8.2f", s)
+		}
+		fmt.Println()
+	}
+	for _, c := range curves[1:] {
+		te := core.CompareTrend(hw, c)
+		fmt.Printf("trend error of %-24s max %4.1f%%  mean %4.1f%%\n",
+			c.Label, 100*te.MaxErr, 100*te.MeanErr)
+	}
+}

@@ -1,0 +1,240 @@
+package cache
+
+import "flashsim/internal/sim"
+
+// WriteBuffer models the small store buffer between the processor and
+// the cache hierarchy. Mipsy "has blocking reads, but supports both
+// prefetching and a write buffer"; FLASH's Solo/SimOS configurations use
+// a four-entry buffer. A store that finds the buffer full stalls the
+// processor until the oldest entry drains.
+type WriteBuffer struct {
+	entries int
+	drains  []sim.Ticks // completion times of in-flight stores, ascending
+	stalls  uint64
+	stallT  sim.Ticks
+}
+
+// NewWriteBuffer creates a write buffer with the given entry count.
+func NewWriteBuffer(entries int) *WriteBuffer {
+	if entries <= 0 {
+		entries = 1
+	}
+	return &WriteBuffer{entries: entries}
+}
+
+// Push records a store issued at time t whose memory operation completes
+// at done. It returns the time the *processor* may proceed: t if a slot
+// was free, or the drain time of the oldest entry if the buffer was
+// full.
+func (w *WriteBuffer) Push(t, done sim.Ticks) sim.Ticks {
+	w.expire(t)
+	proceed := t
+	if len(w.drains) >= w.entries {
+		oldest := w.drains[0]
+		w.drains = w.drains[1:]
+		if oldest > proceed {
+			w.stalls++
+			w.stallT += oldest - proceed
+			proceed = oldest
+		}
+	}
+	// Insert keeping ascending order (completions can be out of order
+	// only through contention skew; keep it sorted for correctness).
+	i := len(w.drains)
+	for i > 0 && w.drains[i-1] > done {
+		i--
+	}
+	w.drains = append(w.drains, 0)
+	copy(w.drains[i+1:], w.drains[i:])
+	w.drains[i] = done
+	return proceed
+}
+
+// DrainBy returns the time by which every buffered store has completed,
+// given current time t (used at synchronization points).
+func (w *WriteBuffer) DrainBy(t sim.Ticks) sim.Ticks {
+	w.expire(t)
+	if len(w.drains) == 0 {
+		return t
+	}
+	last := w.drains[len(w.drains)-1]
+	w.drains = w.drains[:0]
+	if last > t {
+		return last
+	}
+	return t
+}
+
+// expire drops entries already drained by time t.
+func (w *WriteBuffer) expire(t sim.Ticks) {
+	n := 0
+	for n < len(w.drains) && w.drains[n] <= t {
+		n++
+	}
+	if n > 0 {
+		w.drains = w.drains[n:]
+	}
+}
+
+// Stalls returns how many stores stalled on a full buffer and the total
+// stall time.
+func (w *WriteBuffer) Stalls() (uint64, sim.Ticks) { return w.stalls, w.stallT }
+
+// Occupied returns the number of in-flight entries at time t.
+func (w *WriteBuffer) Occupied(t sim.Ticks) int {
+	w.expire(t)
+	return len(w.drains)
+}
+
+// MSHRs models the miss status holding registers that bound the number
+// of outstanding cache misses (4 on the R10000, per Table 1). Requests
+// to a line already outstanding merge; a new miss with all registers
+// busy must wait for the earliest completion.
+type MSHRs struct {
+	n       int
+	pending map[uint64]sim.Ticks // line addr -> completion time
+	merges  uint64
+	stalls  uint64
+	stallT  sim.Ticks
+}
+
+// NewMSHRs creates an MSHR file with n registers.
+func NewMSHRs(n int) *MSHRs {
+	if n <= 0 {
+		n = 1
+	}
+	return &MSHRs{n: n, pending: make(map[uint64]sim.Ticks, n)}
+}
+
+// Lookup reports whether a miss on lineAddr is already outstanding at
+// time t and, if so, when it completes (the new request merges).
+func (m *MSHRs) Lookup(lineAddr uint64, t sim.Ticks) (sim.Ticks, bool) {
+	m.expire(t)
+	done, ok := m.pending[lineAddr]
+	if ok {
+		m.merges++
+	}
+	return done, ok
+}
+
+// Reserve allocates a register for a miss on lineAddr issued at time t.
+// It returns the time the miss may actually be issued to the memory
+// system: t if a register is free, else the earliest completion time
+// among outstanding misses.
+func (m *MSHRs) Reserve(lineAddr uint64, t sim.Ticks) sim.Ticks {
+	m.expire(t)
+	issue := t
+	if len(m.pending) >= m.n {
+		earliest := sim.Forever
+		var victim uint64
+		for a, d := range m.pending {
+			if d < earliest || (d == earliest && a < victim) {
+				earliest, victim = d, a
+			}
+		}
+		delete(m.pending, victim)
+		if earliest > issue {
+			m.stalls++
+			m.stallT += earliest - issue
+			issue = earliest
+		}
+	}
+	return issue
+}
+
+// Complete records that the miss on lineAddr completes at done.
+func (m *MSHRs) Complete(lineAddr uint64, done sim.Ticks) { m.pending[lineAddr] = done }
+
+// expire retires registers whose misses completed by t.
+func (m *MSHRs) expire(t sim.Ticks) {
+	for a, d := range m.pending {
+		if d <= t {
+			delete(m.pending, a)
+		}
+	}
+}
+
+// Merges returns the number of merged (piggybacked) requests.
+func (m *MSHRs) Merges() uint64 { return m.merges }
+
+// Stalls returns how many misses stalled for a free register and the
+// total stall time.
+func (m *MSHRs) Stalls() (uint64, sim.Ticks) { return m.stalls, m.stallT }
+
+// Outstanding returns the number of in-flight misses at time t.
+func (m *MSHRs) Outstanding(t sim.Ticks) int {
+	m.expire(t)
+	return len(m.pending)
+}
+
+// L2Interface models the occupancy of the R10000's external
+// (secondary-cache) interface. "While data is being returned from the
+// memory system and the processor is forwarding this data to the
+// external cache, the external cache interface is occupied for the
+// entire duration of the cacheline transfer. Even subsequent tag checks
+// have to wait." This effect, absent from the untuned processor models,
+// made them mispredict back-to-back load latency; the Calibrator enables
+// and fits it.
+type L2Interface struct {
+	// Enabled selects whether occupancy is modeled at all.
+	Enabled bool
+	// TransferTicks is how long a line refill occupies the interface.
+	TransferTicks sim.Ticks
+
+	nextFree sim.Ticks
+	windows  [8]struct{ start, end sim.Ticks }
+	wpos     int
+	uses     uint64
+	tagWaits uint64
+}
+
+// AcquireForRefill reserves the interface for a line transfer whose
+// critical word arrives at time t. Transfers serialize among themselves
+// (one external interface). It returns the transfer start: the
+// processor restarts on the critical word as the transfer begins, but
+// the interface stays occupied for the whole TransferTicks — the R10000
+// behavior ("while data is being returned ... the external cache
+// interface is occupied for the entire duration of the cacheline
+// transfer"), fixed in the R12000.
+func (l *L2Interface) AcquireForRefill(t sim.Ticks) sim.Ticks {
+	if !l.Enabled {
+		return t
+	}
+	start := t
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	end := start + l.TransferTicks
+	l.nextFree = end
+	l.windows[l.wpos] = struct{ start, end sim.Ticks }{start, end}
+	l.wpos = (l.wpos + 1) % len(l.windows)
+	l.uses++
+	return start
+}
+
+// AcquireForTagCheck delays a tag check that lands inside an in-progress
+// line transfer ("even subsequent tag checks have to wait for the
+// cacheline transfer to complete"). A check before any reserved transfer
+// begins proceeds immediately — future reservations do not block the
+// past.
+func (l *L2Interface) AcquireForTagCheck(t sim.Ticks) sim.Ticks {
+	if !l.Enabled {
+		return t
+	}
+	for moved := true; moved; {
+		moved = false
+		for _, w := range l.windows {
+			if t >= w.start && t < w.end {
+				t = w.end
+				l.tagWaits++
+				moved = true
+			}
+		}
+	}
+	return t
+}
+
+// Stats exposes the interface counters.
+func (l *L2Interface) Stats() sim.Stats {
+	return sim.Stats{Uses: l.uses, Waited: sim.Ticks(l.tagWaits)}
+}

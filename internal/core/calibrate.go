@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/memsys"
+	"flashsim/internal/proto"
+	"flashsim/internal/snbench"
+)
+
+// Calibration is the set of parameter corrections the tuning loop
+// produces; Apply rewrites a simulator configuration with them. It is
+// the code form of §3.1.2's fixes: the corrected TLB-refill cost, the
+// enabled-and-fitted secondary-cache interface occupancy, and the
+// FlashLite timing constants that make the five dependent-load protocol
+// cases match the hardware.
+type Calibration struct {
+	TLBHandlerCycles uint32
+	L2Occupancy      bool
+	L2TransferNS     float64
+	Timing           memsys.FlashTiming
+	// Report records every adjustment for the write-up.
+	Report []Adjustment
+}
+
+// Adjustment records one tuning step.
+type Adjustment struct {
+	Param     string
+	Before    float64
+	After     float64
+	HWMetric  float64
+	SimBefore float64
+	SimAfter  float64
+	Unit      string
+}
+
+// String renders the adjustment.
+func (a Adjustment) String() string {
+	return fmt.Sprintf("%-22s %8.1f -> %8.1f %-6s (hw %.1f, sim %.1f -> %.1f)",
+		a.Param, a.Before, a.After, a.Unit, a.HWMetric, a.SimBefore, a.SimAfter)
+}
+
+// Apply rewrites cfg with the calibrated parameters. Solo configurations
+// keep no TLB (there is nothing to correct — the omission is the point);
+// NUMA memory systems keep their latency table.
+func (c Calibration) Apply(cfg machine.Config) machine.Config {
+	if cfg.OS.TLBEntries > 0 || cfg.OS.TLBHandlerCycles > 0 {
+		cfg.OS.TLBHandlerCycles = c.TLBHandlerCycles
+	}
+	cfg.ModelL2InterfaceOccupancy = c.L2Occupancy
+	if c.L2TransferNS > 0 {
+		cfg.L2TransferNS = c.L2TransferNS
+	}
+	if cfg.Mem == machine.MemFlashLite {
+		cfg.FlashTiming = c.Timing
+	}
+	cfg.Name += " (tuned)"
+	return cfg
+}
+
+// Calibrator closes the simulation loop: it measures microbenchmarks on
+// the hardware reference and iteratively adjusts a simulator's
+// parameters until the measurements agree.
+type Calibrator struct {
+	Ref *Reference
+	// MaxRounds bounds each fitting loop (default 6).
+	MaxRounds int
+	// TolNS is the dependent-load convergence tolerance (default 20ns).
+	TolNS float64
+}
+
+// NewCalibrator returns a calibrator against ref.
+func NewCalibrator(ref *Reference) *Calibrator {
+	return &Calibrator{Ref: ref, MaxRounds: 6, TolNS: 20}
+}
+
+// hwTLBCycles measures the reference TLB-refill cost.
+func (c *Calibrator) hwTLBCycles() (float64, error) {
+	meas, err := c.Ref.MeasureAt(snbench.TLBTimer(0, 0, 0), 1)
+	if err != nil {
+		return 0, err
+	}
+	// Use the median-ish first run; the metric needs barrier releases.
+	cfg := c.Ref.ConfigAt(1)
+	return snbench.TLBHandlerCycles(meas.Runs[0], cfg.ClockMHz, 0, 0, 0), nil
+}
+
+// simTLBCycles measures a simulator's TLB-refill cost.
+func simTLBCycles(cfg machine.Config) (float64, error) {
+	cfg.Procs = 1
+	res, err := machine.Run(cfg, snbench.TLBTimer(0, 0, 0))
+	if err != nil {
+		return 0, err
+	}
+	return snbench.TLBHandlerCycles(res, cfg.ClockMHz, 0, 0, 0), nil
+}
+
+// hwRestartNS measures the reference back-to-back load throughput.
+func (c *Calibrator) hwRestartNS() (float64, error) {
+	meas, err := c.Ref.MeasureAt(snbench.Restart(0), 1)
+	if err != nil {
+		return 0, err
+	}
+	return snbench.ThroughputNSPerLoad(meas.Runs[0], 0), nil
+}
+
+func simRestartNS(cfg machine.Config) (float64, error) {
+	cfg.Procs = 1
+	res, err := machine.Run(cfg, snbench.Restart(0))
+	if err != nil {
+		return 0, err
+	}
+	return snbench.ThroughputNSPerLoad(res, 0), nil
+}
+
+// depCases are the Table 3 protocol cases, in table order.
+var depCases = []proto.Case{
+	proto.LocalClean,
+	proto.LocalDirtyRemote,
+	proto.RemoteClean,
+	proto.RemoteDirtyHome,
+	proto.RemoteDirtyRemote,
+}
+
+// DependentLoadLatencies measures all five Table 3 cases on the
+// reference (ns per load).
+func (c *Calibrator) DependentLoadLatencies() (map[proto.Case]float64, error) {
+	out := make(map[proto.Case]float64, len(depCases))
+	for _, pc := range depCases {
+		meas, err := c.Ref.MeasureAt(snbench.DependentLoads(pc, 0), snbench.CaseProcs(pc))
+		if err != nil {
+			return nil, err
+		}
+		out[pc] = snbench.LoadLatencyNS(pc, machine.Result{Exec: meas.Mean, BarrierReleases: meas.Runs[0].BarrierReleases}, 0)
+	}
+	return out, nil
+}
+
+// simDepLatency measures one dependent-load case on a simulator.
+func simDepLatency(cfg machine.Config, pc proto.Case) (float64, error) {
+	cfg.Procs = snbench.CaseProcs(pc)
+	res, err := machine.Run(cfg, snbench.DependentLoads(pc, 0))
+	if err != nil {
+		return 0, err
+	}
+	return snbench.LoadLatencyNS(pc, res, 0), nil
+}
+
+// Calibrate tunes cfg against the hardware reference and returns the
+// calibration. The input configuration is not modified; apply the
+// result with Calibration.Apply.
+func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
+	maxRounds := c.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 6
+	}
+	cal := Calibration{
+		TLBHandlerCycles: cfg.OS.TLBHandlerCycles,
+		L2TransferNS:     cfg.L2TransferNS,
+		Timing:           cfg.FlashTiming,
+	}
+
+	// Step 1: TLB-refill cost ("with hardware results and a
+	// microbenchmark that times TLB misses, we were able to tune our
+	// simulators to give the correct value").
+	if cfg.OS.TLBHandlerCycles > 0 {
+		hwC, err := c.hwTLBCycles()
+		if err != nil {
+			return cal, err
+		}
+		before := float64(cal.TLBHandlerCycles)
+		simBefore, err := simTLBCycles(applyTLB(cfg, cal.TLBHandlerCycles))
+		if err != nil {
+			return cal, err
+		}
+		simC := simBefore
+		for round := 0; round < maxRounds && math.Abs(hwC-simC) > 1; round++ {
+			next := float64(cal.TLBHandlerCycles) + (hwC - simC)
+			if next < 1 {
+				next = 1
+			}
+			cal.TLBHandlerCycles = uint32(next + 0.5)
+			simC, err = simTLBCycles(applyTLB(cfg, cal.TLBHandlerCycles))
+			if err != nil {
+				return cal, err
+			}
+		}
+		cal.Report = append(cal.Report, Adjustment{
+			Param: "tlb-handler", Unit: "cycles",
+			Before: before, After: float64(cal.TLBHandlerCycles),
+			HWMetric: hwC, SimBefore: simBefore, SimAfter: simC,
+		})
+	}
+
+	// Step 2: secondary-cache interface occupancy (restart-time test).
+	{
+		hwT, err := c.hwRestartNS()
+		if err != nil {
+			return cal, err
+		}
+		probe := cal.Apply(cfg)
+		probe.ModelL2InterfaceOccupancy = false
+		simBefore, err := simRestartNS(probe)
+		if err != nil {
+			return cal, err
+		}
+		simT := simBefore
+		if simT < hwT*0.97 {
+			cal.L2Occupancy = true
+			for round := 0; round < maxRounds && math.Abs(hwT-simT) > 3; round++ {
+				probe = cal.Apply(cfg)
+				simT, err = simRestartNS(probe)
+				if err != nil {
+					return cal, err
+				}
+				cal.L2TransferNS += hwT - simT
+				if cal.L2TransferNS < 0 {
+					cal.L2TransferNS = 0
+				}
+			}
+		}
+		cal.Report = append(cal.Report, Adjustment{
+			Param: "l2-interface-occupancy", Unit: "ns",
+			Before: 0, After: cal.L2TransferNS,
+			HWMetric: hwT, SimBefore: simBefore, SimAfter: simT,
+		})
+	}
+
+	// Step 3: FlashLite timing against the five dependent-load cases
+	// ("once local read latencies matched, we easily tuned FlashLite
+	// parameters until read latencies for all five protocol read cases
+	// also matched").
+	if cfg.Mem == machine.MemFlashLite {
+		hwLat, err := c.DependentLoadLatencies()
+		if err != nil {
+			return cal, err
+		}
+		before := cal.Timing
+		var simLC, simRC, simLDR float64
+		for round := 0; round < maxRounds; round++ {
+			probe := cal.Apply(cfg)
+			simLC, err = simDepLatency(probe, proto.LocalClean)
+			if err != nil {
+				return cal, err
+			}
+			simRC, err = simDepLatency(probe, proto.RemoteClean)
+			if err != nil {
+				return cal, err
+			}
+			simLDR, err = simDepLatency(probe, proto.LocalDirtyRemote)
+			if err != nil {
+				return cal, err
+			}
+			dLC := hwLat[proto.LocalClean] - simLC
+			dRC := hwLat[proto.RemoteClean] - simRC
+			dLDR := hwLat[proto.LocalDirtyRemote] - simLDR
+			if math.Abs(dLC) < c.TolNS && math.Abs(dRC) < c.TolNS && math.Abs(dLDR) < c.TolNS {
+				break
+			}
+			// Local clean is bus + controller + memory: split the
+			// residual over the two bus legs.
+			cal.Timing.BusRequestNS = clampNS(cal.Timing.BusRequestNS + dLC/2)
+			cal.Timing.BusReplyNS = clampNS(cal.Timing.BusReplyNS + dLC/2)
+			// Remote clean adds two network traversals: spread the
+			// remaining residual over the four interface crossings.
+			rcResidual := dRC - dLC
+			cal.Timing.InboxNS = clampNS(cal.Timing.InboxNS + rcResidual/4)
+			cal.Timing.OutboxNS = clampNS(cal.Timing.OutboxNS + rcResidual/4)
+			// Dirty cases add the intervention at the owner.
+			cal.Timing.InterventionNS = clampNS(cal.Timing.InterventionNS + (dLDR - dLC))
+		}
+		cal.Report = append(cal.Report,
+			Adjustment{Param: "bus-request", Unit: "ns", Before: before.BusRequestNS, After: cal.Timing.BusRequestNS,
+				HWMetric: hwLat[proto.LocalClean], SimBefore: 0, SimAfter: simLC},
+			Adjustment{Param: "net-iface (in/out)", Unit: "ns", Before: before.InboxNS, After: cal.Timing.InboxNS,
+				HWMetric: hwLat[proto.RemoteClean], SimBefore: 0, SimAfter: simRC},
+			Adjustment{Param: "intervention", Unit: "ns", Before: before.InterventionNS, After: cal.Timing.InterventionNS,
+				HWMetric: hwLat[proto.LocalDirtyRemote], SimBefore: 0, SimAfter: simLDR},
+		)
+	}
+	return cal, nil
+}
+
+func clampNS(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func applyTLB(cfg machine.Config, cycles uint32) machine.Config {
+	cfg.OS.TLBHandlerCycles = cycles
+	return cfg
+}
+
+// SimTLBCycles measures a simulator configuration's TLB-refill cost via
+// the snbench TLB timer (exported for the harness's in-text
+// experiments).
+func SimTLBCycles(cfg machine.Config) (float64, error) { return simTLBCycles(cfg) }
+
+// SimDepLatency measures one Table 3 dependent-load case on a simulator
+// configuration (ns per load).
+func SimDepLatency(cfg machine.Config, pc proto.Case) (float64, error) {
+	return simDepLatency(cfg, pc)
+}

@@ -1,0 +1,144 @@
+package core_test
+
+import (
+	"testing"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+	"flashsim/internal/proto"
+)
+
+func smallFFT(procs int) emitter.Program {
+	return apps.FFT(apps.FFTOpts{LogN: 12, Procs: procs, TLBBlocked: true, Prefetch: true})
+}
+
+func TestCalibratorFixesTLBCost(t *testing.T) {
+	ref := core.NewReference(4, true)
+	ref.Repeats = 2
+	cal := core.NewCalibrator(ref)
+	cfg := core.SimOSMipsy(4, 150, true)
+	c, err := cal.Calibrate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TLBHandlerCycles < 55 || c.TLBHandlerCycles > 75 {
+		t.Errorf("calibrated TLB handler = %d cycles, want ~65", c.TLBHandlerCycles)
+	}
+	// Mipsy has blocking reads, so its independent-load throughput is
+	// already *slower* than hardware; the interface occupancy is
+	// correctly left off and its latency is absorbed into bus timing.
+	if c.L2Occupancy {
+		t.Error("occupancy should not be enabled for a blocking-read model")
+	}
+	for _, a := range c.Report {
+		t.Logf("adjust %v", a)
+	}
+}
+
+func TestCalibratorEnablesOccupancyForMXS(t *testing.T) {
+	ref := core.NewReference(4, true)
+	ref.Repeats = 2
+	cal := core.NewCalibrator(ref)
+	cfg := core.SimOSMXS(4, true)
+	c, err := cal.Calibrate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TLBHandlerCycles < 55 || c.TLBHandlerCycles > 75 {
+		t.Errorf("calibrated TLB handler = %d cycles, want ~65 (from 35)", c.TLBHandlerCycles)
+	}
+	if !c.L2Occupancy {
+		t.Error("calibration did not enable L2 interface occupancy for the out-of-order model")
+	}
+	for _, a := range c.Report {
+		t.Logf("adjust %v", a)
+	}
+}
+
+func TestCalibratedSimulatorMatchesTable3(t *testing.T) {
+	ref := core.NewReference(4, true)
+	ref.Repeats = 2
+	cal := core.NewCalibrator(ref)
+	cfg := core.SimOSMipsy(4, 150, true)
+	c, err := cal.Calibrate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned := c.Apply(cfg)
+	hwLat, err := cal.DependentLoadLatencies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pc := range []proto.Case{proto.LocalClean, proto.RemoteClean, proto.LocalDirtyRemote} {
+		simNS, err := core.SimDepLatency(tuned, pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := simNS / hwLat[pc]
+		t.Logf("%-20v tuned sim %6.0f ns, hw %6.0f ns (rel %.2f)", pc, simNS, hwLat[pc], rel)
+		if rel < 0.9 || rel > 1.1 {
+			t.Errorf("%v: tuned latency off by more than 10%%: rel=%.2f", pc, rel)
+		}
+	}
+}
+
+func TestStudyComparesAgainstReference(t *testing.T) {
+	ref := core.NewReference(1, true)
+	ref.Repeats = 2
+	study := core.NewStudy(ref, core.SimOSMipsy(1, 225, true), core.SoloMipsy(1, 225, true))
+	res, err := study.Compare([]core.Workload{{Name: "fft", Make: smallFFT}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows["fft"]) != 2 {
+		t.Fatalf("expected 2 entries, got %d", len(res.Rows["fft"]))
+	}
+	for _, e := range res.Rows["fft"] {
+		t.Logf("%s: rel %.2f", e.Config, e.Relative)
+		if e.Relative <= 0 || e.Relative > 5 {
+			t.Errorf("%s: implausible relative time %.2f", e.Config, e.Relative)
+		}
+	}
+}
+
+func TestTrendAnalyzerSpeedup(t *testing.T) {
+	ref := core.NewReference(4, true)
+	ref.Repeats = 1
+	ta := core.NewTrendAnalyzer(ref)
+	hwC, err := ta.HardwareSpeedup(core.Workload{Name: "fft", Make: smallFFT}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hwC.Speedup[0] != 1 {
+		t.Errorf("speedup at base point should be 1, got %f", hwC.Speedup[0])
+	}
+	if hwC.At(4) <= hwC.At(1) {
+		t.Errorf("no speedup on hardware: %v", hwC.Speedup)
+	}
+	simC, err := ta.SimSpeedup(core.SimOSMipsy(4, 225, true), core.Workload{Name: "fft", Make: smallFFT}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	te := core.CompareTrend(hwC, simC)
+	t.Logf("hw %v sim %v trend err max=%.2f", hwC.Speedup, simC.Speedup, te.MaxErr)
+}
+
+func TestDefectInjection(t *testing.T) {
+	base := core.SimOSMXS(1, true)
+	for _, d := range core.KnownDefects() {
+		if d.Name != "mxs-fast-issue" {
+			continue
+		}
+		imp, err := core.MeasureDefect(d, base, core.Workload{Name: "fft", Make: smallFFT}, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: relative %.3f", d.Name, imp.Relative)
+		if imp.Relative > 1.001 {
+			t.Errorf("fast-issue bug should not slow the simulator down: %.3f", imp.Relative)
+		}
+	}
+	_ = machine.Config{}
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"flashsim/internal/emitter"
+	"flashsim/internal/hw"
+	"flashsim/internal/machine"
+	"flashsim/internal/sim"
+)
+
+// Workload names a program parameterized only by processor count, so
+// the same workload can run on machines of different sizes.
+type Workload struct {
+	Name string
+	Make func(procs int) emitter.Program
+}
+
+// Measurement is an averaged set of hardware runs ("we take the average
+// of at least 5 hardware runs to avoid reporting any spurious system
+// effects").
+type Measurement struct {
+	Mean sim.Ticks
+	Min  sim.Ticks
+	Max  sim.Ticks
+	Runs []machine.Result
+}
+
+// MeanSeconds returns the mean parallel-section time in seconds.
+func (m Measurement) MeanSeconds() float64 { return float64(m.Mean) / sim.TickHz }
+
+// Reference is the hardware gold standard: the maximum-fidelity machine
+// measured with run-to-run jitter and averaging, exposed the way a real
+// machine would be — you can run programs on it and read wall times, but
+// its internals are not a simulator you can instrument.
+type Reference struct {
+	// Repeats is the number of runs averaged per measurement (>= 1;
+	// default 5, per the methodology).
+	Repeats int
+
+	base machine.Config
+}
+
+// NewReference returns the hardware standard sized at procs processors.
+// scaled selects the 1/16-scale cache geometry (see EXPERIMENTS.md).
+func NewReference(procs int, scaled bool) *Reference {
+	return &Reference{Repeats: 5, base: hw.Config(procs, scaled)}
+}
+
+// Procs returns the machine size.
+func (r *Reference) Procs() int { return r.base.Procs }
+
+// Scaled reports whether the 1/16-scale geometry is in use.
+func (r *Reference) Scaled() bool { return r.base.L2.Size != 2<<20 }
+
+// ConfigAt returns the reference machine configuration resized to procs
+// processors (for microbenchmarks that need a specific node count).
+func (r *Reference) ConfigAt(procs int) machine.Config {
+	cfg := r.base
+	cfg.Procs = procs
+	return cfg
+}
+
+// Measure runs prog on the hardware Repeats times with distinct seeds
+// and returns the averaged measurement.
+func (r *Reference) Measure(prog emitter.Program) (Measurement, error) {
+	return r.MeasureAt(prog, r.base.Procs)
+}
+
+// MeasureAt is Measure on a machine resized to procs processors.
+func (r *Reference) MeasureAt(prog emitter.Program, procs int) (Measurement, error) {
+	n := r.Repeats
+	if n < 1 {
+		n = 1
+	}
+	m := Measurement{Min: sim.Forever}
+	var sum sim.Ticks
+	for i := 0; i < n; i++ {
+		cfg := r.ConfigAt(procs)
+		cfg.Seed = uint64(i + 1)
+		res, err := machine.Run(cfg, prog)
+		if err != nil {
+			return Measurement{}, fmt.Errorf("reference run %d: %w", i, err)
+		}
+		m.Runs = append(m.Runs, res)
+		sum += res.Exec
+		if res.Exec < m.Min {
+			m.Min = res.Exec
+		}
+		if res.Exec > m.Max {
+			m.Max = res.Exec
+		}
+	}
+	m.Mean = sum / sim.Ticks(n)
+	return m, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/sim"
+)
+
+// RelEntry is one bar of Figures 1–4: a simulator's predicted execution
+// time relative to the hardware ("a value of 1.0 means the simulator
+// reported the same time as the hardware; values below 1.0 signify that
+// the simulator was executing faster than hardware").
+type RelEntry struct {
+	Workload string
+	Config   string
+	Relative float64
+	SimExec  sim.Ticks
+	HWExec   sim.Ticks
+	Sim      machine.Result
+}
+
+// CompareResult is a full simulators-vs-hardware comparison.
+type CompareResult struct {
+	Procs   int
+	Configs []string
+	Rows    map[string][]RelEntry // workload -> entries in config order
+	Order   []string              // workload order
+	HW      map[string]Measurement
+}
+
+// Entry returns the entry for (workload, config name).
+func (c CompareResult) Entry(workload, config string) (RelEntry, bool) {
+	for _, e := range c.Rows[workload] {
+		if e.Config == config {
+			return e, true
+		}
+	}
+	return RelEntry{}, false
+}
+
+// MaxAbsError returns the largest |relative-1| across all entries.
+func (c CompareResult) MaxAbsError() float64 {
+	worst := 0.0
+	for _, row := range c.Rows {
+		for _, e := range row {
+			if d := abs(e.Relative - 1); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Study compares a set of simulator configurations against the hardware
+// reference.
+type Study struct {
+	Ref     *Reference
+	Configs []machine.Config
+}
+
+// NewStudy builds a study over the given simulator configurations.
+func NewStudy(ref *Reference, configs ...machine.Config) *Study {
+	return &Study{Ref: ref, Configs: configs}
+}
+
+// Compare runs every workload on the hardware (averaged) and on every
+// simulator (once: simulators are deterministic) at the given processor
+// count, and returns the relative execution times.
+func (s *Study) Compare(workloads []Workload, procs int) (CompareResult, error) {
+	out := CompareResult{
+		Procs: procs,
+		Rows:  make(map[string][]RelEntry),
+		HW:    make(map[string]Measurement),
+	}
+	for _, cfg := range s.Configs {
+		out.Configs = append(out.Configs, cfg.Name)
+	}
+	for _, w := range workloads {
+		out.Order = append(out.Order, w.Name)
+		hwMeas, err := s.Ref.MeasureAt(w.Make(procs), procs)
+		if err != nil {
+			return out, fmt.Errorf("hardware %s: %w", w.Name, err)
+		}
+		out.HW[w.Name] = hwMeas
+		for _, cfg := range s.Configs {
+			cfg.Procs = procs
+			res, err := machine.Run(cfg, w.Make(procs))
+			if err != nil {
+				return out, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
+			}
+			out.Rows[w.Name] = append(out.Rows[w.Name], RelEntry{
+				Workload: w.Name,
+				Config:   cfg.Name,
+				Relative: float64(res.Exec) / float64(hwMeas.Mean),
+				SimExec:  res.Exec,
+				HWExec:   hwMeas.Mean,
+				Sim:      res,
+			})
+		}
+	}
+	return out, nil
+}

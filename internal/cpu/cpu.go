@@ -1,0 +1,101 @@
+// Package cpu defines the contract between processor models and the
+// machine: the memory Port the machine exposes to a processor, and the
+// Outcome protocol by which a processor yields control back to the
+// event loop. The two processor models of the study — Mipsy
+// (internal/cpu/mipsy) and MXS (internal/cpu/mxs) — implement the CPU
+// interface against this contract; the hardware reference is MXS at
+// full fidelity.
+package cpu
+
+import (
+	"flashsim/internal/isa"
+	"flashsim/internal/sim"
+)
+
+// MemInfo describes what happened on a data access.
+type MemInfo struct {
+	// Done is when the data is available to the core (loads) or when
+	// the store has been accepted (after any write-buffer stall).
+	Done sim.Ticks
+	// L1Hit and L2Hit report where the access was satisfied.
+	L1Hit bool
+	L2Hit bool
+	// TLBMiss reports that a TLB refill ran (its cost is inside Done).
+	TLBMiss bool
+	// WentToMemory reports that the access left the chip (L2 miss),
+	// which is the processor's cue to yield to the event loop so that
+	// shared-resource reservations stay in global time order.
+	WentToMemory bool
+	// IssuedAt is the time the transaction was issued to the memory
+	// system (valid when WentToMemory). Processors yield to at least
+	// this time so the next transaction's reservations are made in
+	// global time order.
+	IssuedAt sim.Ticks
+	// DirtyCacheOp reports a CACHE instruction that hit a dirty line
+	// (the trigger of the historical MXS stall bug).
+	DirtyCacheOp bool
+}
+
+// Port is the machine-side memory interface a processor model drives.
+// Implementations encapsulate the TLB, the cache hierarchy, the write
+// buffer, the MSHRs, and the memory-system simulator behind them.
+type Port interface {
+	// Load performs a data read at time t.
+	Load(t sim.Ticks, addr uint64, size uint32) MemInfo
+	// Store performs a data write at time t. Done reflects when the
+	// processor may proceed (write-buffer semantics), not when the
+	// store is globally visible.
+	Store(t sim.Ticks, addr uint64, size uint32) MemInfo
+	// Prefetch issues a non-binding prefetch; the processor never
+	// waits on it.
+	Prefetch(t sim.Ticks, addr uint64)
+	// CacheOp performs a MIPS CACHE instruction.
+	CacheOp(t sim.Ticks, addr uint64, aux uint32) MemInfo
+	// SyscallCost returns the charged cost, in processor cycles, of a
+	// system call under the machine's OS model.
+	SyscallCost(aux uint32) uint32
+}
+
+// OutcomeKind says why a processor yielded.
+type OutcomeKind uint8
+
+const (
+	// Yield: the processor exhausted its quantum or issued a memory
+	// transaction; resume by calling Run at Outcome.Time.
+	Yield OutcomeKind = iota
+	// SyncOp: the processor reached a LOCK/UNLOCK/BARRIER instruction
+	// (in Outcome.Instr) at Outcome.Time; the machine decides when it
+	// resumes.
+	SyncOp
+	// Finished: the instruction stream is exhausted; Outcome.Time is
+	// the completion time.
+	Finished
+)
+
+// Outcome is what Run returns to the machine's event loop.
+type Outcome struct {
+	Kind  OutcomeKind
+	Time  sim.Ticks
+	Instr isa.Instr // valid for SyncOp
+}
+
+// CPU is a processor model bound to one instruction stream and one
+// memory port.
+type CPU interface {
+	// Run executes instructions starting at time t until the model
+	// yields. The machine guarantees t is no earlier than the last
+	// outcome's Time.
+	Run(t sim.Ticks) Outcome
+	// Stats returns instruction-accounting counters.
+	Stats() Stats
+}
+
+// Stats counts a processor's activity.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64 // core cycles charged, excluding sync blocking
+	LoadStalls   sim.Ticks
+	Mispredicts  uint64
+	PipeFlushes  uint64
+	InterlockCyc uint64
+}

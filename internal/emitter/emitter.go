@@ -1,0 +1,424 @@
+// Package emitter turns ordinary Go code into per-thread instruction
+// streams of the synthetic ISA.
+//
+// A workload (see internal/apps) is a real algorithm whose inner loops
+// are written against the Thread API: t.Load/t.Store/t.FPAdd/... Each
+// call both performs no actual data movement (the algorithm keeps its
+// data in normal Go variables) and appends one isa.Instr, with true data
+// dependences tracked through Val handles, to a batched channel that the
+// processor models consume. This reproduces the paper's methodology of
+// running the *same binary* on every platform: the identical instruction
+// stream is replayed by Mipsy, MXS, and the hardware reference model.
+//
+// Threads run as goroutines and synchronize with *real* barriers and
+// mutexes that mirror the semantic BARRIER/LOCK instructions they emit,
+// so a parallel algorithm computes consistent data while its timing is
+// decided entirely by the simulated machine. The emitted sync
+// instruction is always flushed to the channel before the goroutine
+// blocks, which makes the scheme deadlock-free: by the time every
+// simulated processor has arrived at a barrier, every emitter goroutine
+// has already arrived at the real one.
+package emitter
+
+import (
+	"fmt"
+	"sync"
+
+	"flashsim/internal/isa"
+)
+
+// BatchSize is the number of instructions per channel send. Batching
+// amortizes channel overhead to well under 10 ns per instruction.
+const BatchSize = 2048
+
+// chanDepth is the number of in-flight batches per thread.
+const chanDepth = 8
+
+// maxDepDistance caps encoded dependence distances; anything further
+// back than this is out of every model's window and irrelevant.
+const maxDepDistance = 1 << 20
+
+// Val is a handle to the value produced by a previously emitted
+// instruction, used to express data dependences.
+type Val struct {
+	idx uint64 // 1 + absolute index of the producing instruction; 0 = none
+}
+
+// None is the zero Val: no dependence.
+var None Val
+
+// Thread is the per-thread emission context handed to workload code.
+type Thread struct {
+	// ID is the thread index, 0..NThreads-1.
+	ID int
+	// N is the total number of threads in the program.
+	N int
+
+	coord *Coordinator
+	ch    chan []isa.Instr
+	abort <-chan struct{}
+	buf   []isa.Instr
+	count uint64 // instructions emitted so far
+	rng   uint64 // per-thread deterministic PRNG state
+	held  map[uint32]*sync.Mutex
+}
+
+// releaseHeld unlocks any real mutexes held when the goroutine unwinds
+// on abort, so sibling emitters blocked in Lock can also unwind.
+func (t *Thread) releaseHeld() {
+	for id, m := range t.held {
+		m.Unlock()
+		delete(t.held, id)
+	}
+}
+
+func (t *Thread) dist(v Val) uint32 {
+	if v.idx == 0 {
+		return 0
+	}
+	d := t.count + 1 - v.idx // distance from the instruction being emitted now
+	if d >= maxDepDistance {
+		return 0
+	}
+	return uint32(d)
+}
+
+func (t *Thread) emit(in isa.Instr) Val {
+	t.buf = append(t.buf, in)
+	t.count++
+	if len(t.buf) == BatchSize {
+		t.flush()
+	}
+	return Val{idx: t.count}
+}
+
+func (t *Thread) flush() {
+	if len(t.buf) == 0 {
+		return
+	}
+	batch := t.buf
+	t.buf = make([]isa.Instr, 0, BatchSize)
+	select {
+	case t.ch <- batch:
+	case <-t.abort:
+		panic(abortPanic{})
+	}
+}
+
+// abortPanic unwinds an emitter goroutine when the consumer has stopped.
+type abortPanic struct{}
+
+// Count returns the number of instructions this thread has emitted.
+func (t *Thread) Count() uint64 { return t.count }
+
+// Load emits a load of size bytes at addr, depending on up to two prior
+// values (e.g. the value that the address was computed from). It returns
+// the loaded value's handle.
+func (t *Thread) Load(addr uint64, size uint32, d1, d2 Val) Val {
+	return t.emit(isa.Instr{Op: isa.Load, Addr: addr, Size: size, Dep1: t.dist(d1), Dep2: t.dist(d2)})
+}
+
+// Store emits a store of size bytes at addr whose data depends on d1 and
+// whose address depends on d2.
+func (t *Thread) Store(addr uint64, size uint32, d1, d2 Val) {
+	t.emit(isa.Instr{Op: isa.Store, Addr: addr, Size: size, Dep1: t.dist(d1), Dep2: t.dist(d2)})
+}
+
+// Prefetch emits a non-binding prefetch of the line containing addr.
+func (t *Thread) Prefetch(addr uint64) {
+	t.emit(isa.Instr{Op: isa.Prefetch, Addr: addr, Size: 4})
+}
+
+// CacheOp emits a MIPS CACHE instruction (sub-operation aux) on the line
+// containing addr.
+func (t *Thread) CacheOp(addr uint64, aux uint32) {
+	t.emit(isa.Instr{Op: isa.CacheOp, Addr: addr, Size: 4, Aux: aux})
+}
+
+// Op emits a non-memory instruction of kind op with dependences d1, d2.
+func (t *Thread) Op(op isa.Op, d1, d2 Val) Val {
+	return t.emit(isa.Instr{Op: op, Dep1: t.dist(d1), Dep2: t.dist(d2)})
+}
+
+// IntALU emits a 1-cycle integer op.
+func (t *Thread) IntALU(d1, d2 Val) Val { return t.Op(isa.IntALU, d1, d2) }
+
+// IntMul emits an integer multiply.
+func (t *Thread) IntMul(d1, d2 Val) Val { return t.Op(isa.IntMul, d1, d2) }
+
+// IntDiv emits an integer divide.
+func (t *Thread) IntDiv(d1, d2 Val) Val { return t.Op(isa.IntDiv, d1, d2) }
+
+// FPAdd emits a floating-point add.
+func (t *Thread) FPAdd(d1, d2 Val) Val { return t.Op(isa.FPAdd, d1, d2) }
+
+// FPMul emits a floating-point multiply.
+func (t *Thread) FPMul(d1, d2 Val) Val { return t.Op(isa.FPMul, d1, d2) }
+
+// FPDiv emits a floating-point divide.
+func (t *Thread) FPDiv(d1, d2 Val) Val { return t.Op(isa.FPDiv, d1, d2) }
+
+// Branch emits a conditional branch.
+func (t *Thread) Branch(d1 Val) { t.Op(isa.Branch, d1, None) }
+
+// IntOps emits n untracked 1-cycle integer ops (address arithmetic, loop
+// overhead) in bulk.
+func (t *Thread) IntOps(n int) {
+	for i := 0; i < n; i++ {
+		t.emit(isa.Instr{Op: isa.IntALU})
+	}
+}
+
+// Syscall emits a system call with number aux.
+func (t *Thread) Syscall(aux uint32) {
+	t.emit(isa.Instr{Op: isa.Syscall, Aux: aux})
+}
+
+// Barrier emits a BARRIER instruction and then joins the real barrier so
+// that program data stays phase-consistent across threads.
+func (t *Thread) Barrier(id uint32) {
+	t.emit(isa.Instr{Op: isa.Barrier, Aux: id})
+	t.flush()
+	t.coord.barrier(id, t.N).await(t.abort)
+}
+
+// Lock emits a LOCK instruction and acquires the mirroring real mutex.
+func (t *Thread) Lock(id uint32) {
+	t.emit(isa.Instr{Op: isa.Lock, Aux: id})
+	t.flush()
+	m := t.coord.lock(id)
+	m.Lock()
+	if t.held == nil {
+		t.held = make(map[uint32]*sync.Mutex)
+	}
+	t.held[id] = m
+}
+
+// Unlock releases the real mutex and emits an UNLOCK instruction.
+func (t *Thread) Unlock(id uint32) {
+	if m, ok := t.held[id]; ok {
+		m.Unlock()
+		delete(t.held, id)
+	}
+	t.emit(isa.Instr{Op: isa.Unlock, Aux: id})
+	t.flush()
+}
+
+// Rand returns a deterministic per-thread pseudo-random uint64
+// (xorshift64*), for workloads that need reproducible random input.
+func (t *Thread) Rand() uint64 {
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Coordinator owns the real synchronization objects shared by the
+// emitter goroutines of one program run.
+type Coordinator struct {
+	mu       sync.Mutex
+	aborted  bool
+	barriers map[uint32]*cyclicBarrier
+	locks    map[uint32]*sync.Mutex
+}
+
+func newCoordinator() *Coordinator {
+	return &Coordinator{
+		barriers: make(map[uint32]*cyclicBarrier),
+		locks:    make(map[uint32]*sync.Mutex),
+	}
+}
+
+func (c *Coordinator) barrier(id uint32, n int) *cyclicBarrier {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.barriers[id]
+	if !ok {
+		b = &cyclicBarrier{n: n, aborted: c.aborted}
+		b.cond = sync.NewCond(&b.mu)
+		c.barriers[id] = b
+	}
+	return b
+}
+
+func (c *Coordinator) lock(id uint32) *sync.Mutex {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.locks[id]
+	if !ok {
+		l = &sync.Mutex{}
+		c.locks[id] = l
+	}
+	return l
+}
+
+// cyclicBarrier is a reusable counting barrier.
+type cyclicBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     uint64
+	aborted bool
+}
+
+func (b *cyclicBarrier) await(abort <-chan struct{}) {
+	b.mu.Lock()
+	if b.aborted {
+		b.mu.Unlock()
+		panic(abortPanic{})
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for b.gen == gen && !b.aborted {
+		// A cond var cannot select on abort; the consumer aborts
+		// runs by releasing all barriers (see Streams.Abort).
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+	select {
+	case <-abort:
+		panic(abortPanic{})
+	default:
+	}
+}
+
+// release permanently unblocks all current and future waiters (abort).
+func (b *cyclicBarrier) release() {
+	b.mu.Lock()
+	b.aborted = true
+	b.count = 0
+	b.gen++
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Reader consumes one thread's instruction stream.
+type Reader struct {
+	ch   <-chan []isa.Instr
+	buf  []isa.Instr
+	pos  int
+	done bool
+	read uint64
+}
+
+// Next returns the next instruction, or ok=false at end of stream.
+func (r *Reader) Next() (in isa.Instr, ok bool) {
+	if r.pos >= len(r.buf) {
+		if r.done {
+			return isa.Instr{}, false
+		}
+		batch, open := <-r.ch
+		if !open {
+			r.done = true
+			return isa.Instr{}, false
+		}
+		r.buf = batch
+		r.pos = 0
+	}
+	in = r.buf[r.pos]
+	r.pos++
+	r.read++
+	return in, true
+}
+
+// Consumed returns how many instructions have been read.
+func (r *Reader) Consumed() uint64 { return r.read }
+
+// Streams is a running program: one Reader per thread plus abort
+// plumbing.
+type Streams struct {
+	Readers []*Reader
+	coord   *Coordinator
+	abortCh chan struct{}
+	once    sync.Once
+	wg      sync.WaitGroup
+	errMu   sync.Mutex
+	err     error
+}
+
+// Abort stops all emitter goroutines (used when a simulation is
+// abandoned early). Safe to call multiple times.
+func (s *Streams) Abort() {
+	s.once.Do(func() {
+		close(s.abortCh)
+		s.coord.mu.Lock()
+		s.coord.aborted = true
+		bs := make([]*cyclicBarrier, 0, len(s.coord.barriers))
+		for _, b := range s.coord.barriers {
+			bs = append(bs, b)
+		}
+		s.coord.mu.Unlock()
+		for _, b := range bs {
+			b.release()
+		}
+	})
+	s.wg.Wait()
+}
+
+// Err returns the first panic (other than abort) raised by a workload
+// goroutine, if any.
+func (s *Streams) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// Wait blocks until all emitter goroutines have finished.
+func (s *Streams) Wait() { s.wg.Wait() }
+
+// Start launches nthreads goroutines running body and returns their
+// streams. body receives the per-thread emission context.
+func Start(nthreads int, body func(t *Thread)) *Streams {
+	if nthreads <= 0 {
+		panic("emitter: nthreads must be positive")
+	}
+	s := &Streams{
+		Readers: make([]*Reader, nthreads),
+		coord:   newCoordinator(),
+		abortCh: make(chan struct{}),
+	}
+	for i := 0; i < nthreads; i++ {
+		ch := make(chan []isa.Instr, chanDepth)
+		s.Readers[i] = &Reader{ch: ch}
+		t := &Thread{
+			ID:    i,
+			N:     nthreads,
+			coord: s.coord,
+			ch:    ch,
+			abort: s.abortCh,
+			buf:   make([]isa.Instr, 0, BatchSize),
+			rng:   0x9E3779B97F4A7C15 ^ (uint64(i+1) * 0xBF58476D1CE4E5B9),
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer close(ch)
+			defer func() {
+				if r := recover(); r != nil {
+					t.releaseHeld()
+					if _, isAbort := r.(abortPanic); isAbort {
+						return
+					}
+					s.errMu.Lock()
+					if s.err == nil {
+						s.err = fmt.Errorf("emitter thread %d panicked: %v", t.ID, r)
+					}
+					s.errMu.Unlock()
+				}
+			}()
+			body(t)
+			t.flush()
+		}()
+	}
+	return s
+}

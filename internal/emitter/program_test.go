@@ -1,0 +1,146 @@
+package emitter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressSpaceLayout(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.Alloc("a", 100, 0, Placement{})
+	b := as.Alloc("b", 200, 0, Placement{})
+	if a.Base < 1<<16 {
+		t.Fatalf("first region below guard: %x", a.Base)
+	}
+	if b.Base < a.Base+a.Size {
+		t.Fatalf("regions overlap: a=%x+%d b=%x", a.Base, a.Size, b.Base)
+	}
+	if a.Base%64 != 0 {
+		t.Fatalf("default alignment violated: %x", a.Base)
+	}
+}
+
+func TestAllocPageAligned(t *testing.T) {
+	as := NewAddressSpace()
+	as.Alloc("pad", 100, 0, Placement{})
+	r := as.AllocPageAligned("big", 10000, Placement{})
+	if r.Base%4096 != 0 {
+		t.Fatalf("not page aligned: %x", r.Base)
+	}
+}
+
+func TestAllocRejectsBadInput(t *testing.T) {
+	as := NewAddressSpace()
+	mustPanic := func(f func()) {
+		defer func() { recover() }()
+		f()
+		t.Fatal("expected panic")
+	}
+	mustPanic(func() { as.Alloc("z", 0, 0, Placement{}) })
+	mustPanic(func() { as.Alloc("z", 10, 3, Placement{}) })
+}
+
+func TestFindRegion(t *testing.T) {
+	as := NewAddressSpace()
+	a := as.AllocPageAligned("a", 8192, Placement{})
+	if r, ok := as.FindRegion(a.Base + 4097); !ok || r.Name != "a" {
+		t.Fatal("lookup inside region failed")
+	}
+	if _, ok := as.FindRegion(a.Base + a.Size); ok {
+		t.Fatal("lookup past region end should miss")
+	}
+	if _, ok := as.FindRegion(0); ok {
+		t.Fatal("zero page should not be mapped")
+	}
+}
+
+func TestRegionsSortedAndSpan(t *testing.T) {
+	as := NewAddressSpace()
+	as.Alloc("a", 100, 0, Placement{})
+	b := as.Alloc("b", 100, 0, Placement{})
+	rs := as.Regions()
+	if len(rs) != 2 || rs[0].Name != "a" || rs[1].Name != "b" {
+		t.Fatalf("regions %v", rs)
+	}
+	if as.Span() != b.Base+b.Size {
+		t.Fatalf("span %x, want %x", as.Span(), b.Base+b.Size)
+	}
+}
+
+// TestRegionsNeverOverlapProperty: any sequence of allocations yields
+// disjoint regions.
+func TestRegionsNeverOverlapProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		as := NewAddressSpace()
+		for i, sz := range sizes {
+			if sz == 0 {
+				sz = 1
+			}
+			as.Alloc(string(rune('a'+i%26)), uint64(sz), 0, Placement{})
+		}
+		rs := as.Regions()
+		for i := 1; i < len(rs); i++ {
+			if rs[i].Base < rs[i-1].Base+rs[i-1].Size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramLaunch(t *testing.T) {
+	p := Program{
+		Name:    "demo",
+		Threads: 2,
+		Setup: func(as *AddressSpace) any {
+			return as.AllocPageAligned("data", 4096, Placement{})
+		},
+		Body: func(th *Thread, shared any) {
+			r := shared.(Region)
+			th.Load(r.Base, 8, None, None)
+		},
+	}
+	space, streams := p.Launch()
+	defer streams.Abort()
+	if space.Span() == 0 {
+		t.Fatal("empty address space")
+	}
+	for _, r := range streams.Readers {
+		if _, ok := r.Next(); !ok {
+			t.Fatal("no instructions")
+		}
+	}
+	streams.Wait()
+}
+
+func TestProgramFullName(t *testing.T) {
+	p := Program{Name: "fft"}
+	if p.FullName() != "fft" {
+		t.Fatal(p.FullName())
+	}
+	p.Variant = "tlb"
+	if p.FullName() != "fft/tlb" {
+		t.Fatal(p.FullName())
+	}
+}
+
+func TestPlacementKindString(t *testing.T) {
+	for _, k := range []PlacementKind{PlaceInterleaved, PlaceBlocked, PlaceOnNode, PlaceFirstTouch} {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestRegionContains(t *testing.T) {
+	r := Region{Base: 0x1000, Size: 0x100}
+	if !r.Contains(0x1000) || !r.Contains(0x10ff) {
+		t.Fatal("boundary containment")
+	}
+	if r.Contains(0xfff) || r.Contains(0x1100) {
+		t.Fatal("exterior containment")
+	}
+}

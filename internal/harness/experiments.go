@@ -1,0 +1,419 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+	"flashsim/internal/proto"
+	"flashsim/internal/snbench"
+)
+
+// Table1 renders the FLASH hardware configuration (Table 1), both the
+// paper's full-scale values and the scaled geometry actually simulated.
+func Table1() string {
+	full := machine.Base(16, false)
+	scaled := machine.Base(16, true)
+	var b strings.Builder
+	b.WriteString("Table 1: FLASH hardware configuration\n")
+	row := func(k, v string) { fmt.Fprintf(&b, "  %-28s %s\n", k, v) }
+	row("Processor", "MIPS R10000 (MXS full-fidelity model)")
+	row("Number of Processors", "1-16")
+	row("Processor Clock Speed", "150 MHz")
+	row("System Clock Speed", "75 MHz")
+	row("Instruction Cache", "32 KB, 64 B line size (modeled as ideal)")
+	row("Primary Data Cache", fmt.Sprintf("%d KB, %d B line size (paper: %d KB)",
+		scaled.L1D.Size>>10, scaled.L1D.LineSize, full.L1D.Size>>10))
+	row("Secondary Cache", fmt.Sprintf("%d KB, %d B line size (paper: %d MB)",
+		scaled.L2.Size>>10, scaled.L2.LineSize, full.L2.Size>>20))
+	row("Max. IPC", "4")
+	row("Max. Outstanding Misses", fmt.Sprintf("%d", scaled.MSHRCount))
+	row("Network", "50 ns hops, hypercube")
+	row("Memory", "140 ns to first double-word")
+	row("Cache Coherence Protocol", "dynamic pointer allocation")
+	return b.String()
+}
+
+// Table2 renders the problem sizes (Table 2: paper vs. this
+// reproduction's scaled sizes).
+func Table2(s Scale) string {
+	var b strings.Builder
+	b.WriteString("Table 2: SPLASH-2 problem sizes (paper -> scaled)\n")
+	row := func(app, paper, ours string) { fmt.Fprintf(&b, "  %-12s %-28s %s\n", app, paper, ours) }
+	switch s {
+	case ScaleQuick:
+		row("FFT", "1M points", "4K points (quick)")
+		row("Radix-Sort", "2M keys", "32K keys (quick)")
+		row("LU", "768x768 matrix, 16x16 blocks", "96x96, 16x16 blocks (quick)")
+		row("Ocean", "514x514 grid", "66x66 grid (quick)")
+	default:
+		row("FFT", "1M points", "64K points")
+		row("Radix-Sort", "2M keys", "256K keys")
+		row("LU", "768x768 matrix, 16x16 blocks", "160x160, 16x16 blocks")
+		row("Ocean", "514x514 grid", "130x130 grid")
+	}
+	return b.String()
+}
+
+// Table3Data holds dependent-load latencies per protocol case (ns).
+type Table3Data struct {
+	Cases   []proto.Case
+	HW      map[proto.Case]float64
+	Tuned   map[proto.Case]float64
+	Untuned map[proto.Case]float64
+}
+
+// Table3 reproduces the dependent-load comparison: hardware vs. tuned
+// and untuned FlashLite for the five protocol read cases. The simulator
+// column uses SimOS-Mipsy at the hardware clock, as snbench did.
+func (s *Session) Table3() (Table3Data, string, error) {
+	cal := core.NewCalibrator(s.Ref)
+	d := Table3Data{
+		Tuned:   make(map[proto.Case]float64),
+		Untuned: make(map[proto.Case]float64),
+	}
+	hw, err := cal.DependentLoadLatencies()
+	if err != nil {
+		return d, "", err
+	}
+	d.HW = hw
+	d.Cases = []proto.Case{
+		proto.LocalClean, proto.LocalDirtyRemote, proto.RemoteClean,
+		proto.RemoteDirtyHome, proto.RemoteDirtyRemote,
+	}
+	untuned := core.SimOSMipsy(4, 150, true)
+	calib, err := s.Calibrate(untuned)
+	if err != nil {
+		return d, "", err
+	}
+	tuned := calib.Apply(untuned)
+	for _, pc := range d.Cases {
+		u, err := core.SimDepLatency(untuned, pc)
+		if err != nil {
+			return d, "", err
+		}
+		tn, err := core.SimDepLatency(tuned, pc)
+		if err != nil {
+			return d, "", err
+		}
+		d.Untuned[pc] = u
+		d.Tuned[pc] = tn
+	}
+	var b strings.Builder
+	b.WriteString("Table 3: dependent load latencies (ns; parenthesized = relative to hardware)\n")
+	fmt.Fprintf(&b, "  %-22s %10s %18s %18s\n", "Protocol Case", "HW", "Tuned FL", "Untuned FL")
+	for _, pc := range d.Cases {
+		fmt.Fprintf(&b, "  %-22s %10.0f %10.0f (%.2f) %10.0f (%.2f)\n",
+			pc, d.HW[pc], d.Tuned[pc], d.Tuned[pc]/d.HW[pc], d.Untuned[pc], d.Untuned[pc]/d.HW[pc])
+	}
+	return d, b.String(), nil
+}
+
+// Figure1 reproduces the initial uniprocessor comparison: untuned
+// simulators, applications blocked as originally recommended.
+func (s *Session) Figure1() (core.CompareResult, string, error) {
+	study := core.NewStudy(s.Ref, s.UntunedConfigs(1)...)
+	res, err := study.Compare(s.Scale.InitialApps(), 1)
+	if err != nil {
+		return res, "", err
+	}
+	return res, renderRelTable("Figure 1: initial uniprocessor SPLASH-2 results before simulator tuning", res), nil
+}
+
+// Figure2 reproduces the uniprocessor comparison after the application
+// TLB-blocking fixes (FFT blocked for the TLB, radix 256 -> 32),
+// simulators still untuned.
+func (s *Session) Figure2() (core.CompareResult, string, error) {
+	study := core.NewStudy(s.Ref, s.UntunedConfigs(1)...)
+	res, err := study.Compare(s.Scale.FixedApps(), 1)
+	if err != nil {
+		return res, "", err
+	}
+	return res, renderRelTable("Figure 2: uniprocessor SPLASH-2 results after blocking fixes", res), nil
+}
+
+// Figure3 reproduces the final uniprocessor comparison with tuned
+// simulators.
+func (s *Session) Figure3() (core.CompareResult, string, error) {
+	cfgs, err := s.TunedConfigs(1)
+	if err != nil {
+		return core.CompareResult{}, "", err
+	}
+	study := core.NewStudy(s.Ref, cfgs...)
+	res, err := study.Compare(s.Scale.FixedApps(), 1)
+	if err != nil {
+		return res, "", err
+	}
+	return res, renderRelTable("Figure 3: final uniprocessor SPLASH-2 comparison", res), nil
+}
+
+// Figure4 reproduces the final four-processor comparison with tuned
+// simulators.
+func (s *Session) Figure4() (core.CompareResult, string, error) {
+	cfgs, err := s.TunedConfigs(4)
+	if err != nil {
+		return core.CompareResult{}, "", err
+	}
+	study := core.NewStudy(s.Ref, cfgs...)
+	res, err := study.Compare(s.Scale.FixedApps(), 4)
+	if err != nil {
+		return res, "", err
+	}
+	return res, renderRelTable("Figure 4: final 4-processor SPLASH-2 comparison", res), nil
+}
+
+// speedupProcs is the Figures 5-6 processor sweep.
+var speedupProcs = []int{1, 2, 4, 8, 16}
+
+// Figure5 reproduces the FFT speedup trend study: hardware vs.
+// SimOS-MXS vs. SimOS-Mipsy at 300 MHz (the over-driven in-order model
+// whose extra request rate invents contention and wrecks the trend).
+func (s *Session) Figure5() ([]core.Curve, string, error) {
+	w := s.Scale.FFTWorkload(true)
+	ta := core.NewTrendAnalyzer(s.Ref)
+	hwC, err := ta.HardwareSpeedup(w, speedupProcs)
+	if err != nil {
+		return nil, "", err
+	}
+	curves := []core.Curve{hwC}
+	for _, base := range []machine.Config{
+		core.SimOSMXS(1, true),
+		core.SimOSMipsy(1, 300, true),
+	} {
+		cal, err := s.Calibrate(base)
+		if err != nil {
+			return nil, "", err
+		}
+		c, err := ta.SimSpeedup(cal.Apply(base), w, speedupProcs)
+		if err != nil {
+			return nil, "", err
+		}
+		curves = append(curves, c)
+	}
+	return curves, renderCurves("Figure 5: speedup trend study for FFT", curves), nil
+}
+
+// Figure6 reproduces the Radix speedup study: hardware (poor speedup)
+// vs. SimOS-Mipsy 225 (predicts it) vs. Solo-Mipsy 225 (wrongly
+// predicts good speedup: IRIX page-coloring conflicts are absent under
+// Solo's allocator).
+func (s *Session) Figure6() ([]core.Curve, string, error) {
+	w := s.Scale.RadixWorkload(32, false)
+	ta := core.NewTrendAnalyzer(s.Ref)
+	hwC, err := ta.HardwareSpeedup(w, speedupProcs)
+	if err != nil {
+		return nil, "", err
+	}
+	curves := []core.Curve{hwC}
+	for _, base := range []machine.Config{
+		core.SimOSMipsy(1, 225, true),
+		core.SoloMipsy(1, 225, true),
+	} {
+		cal, err := s.Calibrate(base)
+		if err != nil {
+			return nil, "", err
+		}
+		c, err := ta.SimSpeedup(cal.Apply(base), w, speedupProcs)
+		if err != nil {
+			return nil, "", err
+		}
+		curves = append(curves, c)
+	}
+	return curves, renderCurves("Figure 6: speedup trend study for Radix", curves), nil
+}
+
+// Figure7 reproduces the memory-system sensitivity study: unplaced
+// Radix-Sort (every page homed on node 0) on 8 and 16 processors, as
+// predicted by SimOS-Mipsy 225 over tuned FlashLite, untuned FlashLite,
+// and the NUMA model. NUMA correctly predicts terrible speedup but
+// misses the MAGIC-occupancy hotspot magnitude.
+func (s *Session) Figure7() ([]core.Curve, string, error) {
+	w := s.Scale.RadixWorkload(32, true)
+	procs := []int{1, 8, 16}
+	ta := core.NewTrendAnalyzer(s.Ref)
+	hwC, err := ta.HardwareSpeedup(w, procs)
+	if err != nil {
+		return nil, "", err
+	}
+	curves := []core.Curve{hwC}
+
+	base := core.SimOSMipsy(1, 225, true)
+	cal, err := s.Calibrate(base)
+	if err != nil {
+		return nil, "", err
+	}
+	tuned := cal.Apply(base)
+	tuned.Name = "Tuned FlashLite"
+	untuned := base
+	untuned.Name = "Untuned FlashLite"
+	numa := core.WithNUMA(core.SimOSMipsy(1, 225, true))
+	numa.Name = "NUMA"
+	for _, cfg := range []machine.Config{tuned, untuned, numa} {
+		c, err := ta.SimSpeedup(cfg, w, procs)
+		if err != nil {
+			return nil, "", err
+		}
+		curves = append(curves, c)
+	}
+	return curves, renderCurves("Figure 7: speedup for unplaced Radix-Sort (SimOS-Mipsy 225MHz)", curves), nil
+}
+
+// TLBCostData is the §3.1.2 in-text TLB experiment: measured refill
+// costs on hardware and both untuned processor models.
+type TLBCostData struct {
+	HWCycles    float64
+	MipsyCycles float64
+	MXSCycles   float64
+}
+
+// ExperimentTLBCost measures the TLB-refill costs (hardware 65 vs Mipsy
+// 25 vs MXS 35).
+func (s *Session) ExperimentTLBCost() (TLBCostData, string, error) {
+	var d TLBCostData
+	cal := core.NewCalibrator(s.Ref)
+	hwMeas, err := s.Ref.MeasureAt(snbench.TLBTimer(0, 0, 0), 1)
+	if err != nil {
+		return d, "", err
+	}
+	d.HWCycles = snbench.TLBHandlerCycles(hwMeas.Runs[0], s.Ref.ConfigAt(1).ClockMHz, 0, 0, 0)
+	d.MipsyCycles, err = core.SimTLBCycles(core.SimOSMipsy(1, 150, true))
+	if err != nil {
+		return d, "", err
+	}
+	d.MXSCycles, err = core.SimTLBCycles(core.SimOSMXS(1, true))
+	if err != nil {
+		return d, "", err
+	}
+	_ = cal
+	text := fmt.Sprintf("TLB refill cost (measured by snbench TLB timer):\n"+
+		"  FLASH hardware: %5.1f cycles (paper: 65)\n"+
+		"  SimOS-Mipsy:    %5.1f cycles (paper: 25)\n"+
+		"  SimOS-MXS:      %5.1f cycles (paper: 35)\n",
+		d.HWCycles, d.MipsyCycles, d.MXSCycles)
+	return d, text, nil
+}
+
+// BlockingFixData is the §3.1.2 application-fix experiment on hardware.
+type BlockingFixData struct {
+	FFTGain1, FFTGain4     float64 // fractional improvement from TLB blocking
+	RadixGain1, RadixGain4 float64 // fractional improvement from radix 256->32
+}
+
+// ExperimentBlockingFixes measures the application-level TLB fixes on
+// the hardware: FFT TLB blocking (paper: +14% on 1p, +16% on 4p) and
+// radix 256 -> 32 (paper: +31% / +34%).
+func (s *Session) ExperimentBlockingFixes() (BlockingFixData, string, error) {
+	var d BlockingFixData
+	gain := func(before, after core.Workload, procs int) (float64, error) {
+		b, err := s.Ref.MeasureAt(before.Make(procs), procs)
+		if err != nil {
+			return 0, err
+		}
+		a, err := s.Ref.MeasureAt(after.Make(procs), procs)
+		if err != nil {
+			return 0, err
+		}
+		return 1 - float64(a.Mean)/float64(b.Mean), nil
+	}
+	var err error
+	if d.FFTGain1, err = gain(s.Scale.FFTWorkload(false), s.Scale.FFTWorkload(true), 1); err != nil {
+		return d, "", err
+	}
+	if d.FFTGain4, err = gain(s.Scale.FFTWorkload(false), s.Scale.FFTWorkload(true), 4); err != nil {
+		return d, "", err
+	}
+	if d.RadixGain1, err = gain(s.Scale.RadixWorkload(256, false), s.Scale.RadixWorkload(32, false), 1); err != nil {
+		return d, "", err
+	}
+	if d.RadixGain4, err = gain(s.Scale.RadixWorkload(256, false), s.Scale.RadixWorkload(32, false), 4); err != nil {
+		return d, "", err
+	}
+	text := fmt.Sprintf("Application TLB fixes measured on hardware:\n"+
+		"  FFT TLB blocking:   +%4.1f%% on 1p (paper 14%%), +%4.1f%% on 4p (paper 16%%)\n"+
+		"  Radix 256 -> 32:    +%4.1f%% on 1p (paper 31%%), +%4.1f%% on 4p (paper 34%%)\n",
+		100*d.FFTGain1, 100*d.FFTGain4, 100*d.RadixGain1, 100*d.RadixGain4)
+	return d, text, nil
+}
+
+// MulDivData is the §3.1.3 instruction-latency experiment.
+type MulDivData struct {
+	RelWithout float64 // SimOS-Mipsy-225 relative time, unit latencies
+	RelWith    float64 // same with multiply/divide latencies modeled
+}
+
+// ExperimentMulDiv reproduces the multiply/divide correction: adding 5
+// cycles per multiply and 19 per divide moved SimOS-Mipsy-225's
+// Radix-Sort prediction from 0.71 to ~1.02.
+func (s *Session) ExperimentMulDiv() (MulDivData, string, error) {
+	var d MulDivData
+	w := s.Scale.RadixWorkload(32, false)
+	hwMeas, err := s.Ref.MeasureAt(w.Make(1), 1)
+	if err != nil {
+		return d, "", err
+	}
+	base := core.SimOSMipsy(1, 225, true)
+	cal, err := s.Calibrate(base)
+	if err != nil {
+		return d, "", err
+	}
+	tuned := cal.Apply(base)
+	res, err := machine.Run(tuned, w.Make(1))
+	if err != nil {
+		return d, "", err
+	}
+	d.RelWithout = float64(res.Exec) / float64(hwMeas.Mean)
+	tuned.ModelInstrLatency = true
+	res2, err := machine.Run(tuned, w.Make(1))
+	if err != nil {
+		return d, "", err
+	}
+	d.RelWith = float64(res2.Exec) / float64(hwMeas.Mean)
+	text := fmt.Sprintf("Instruction-latency correction (Radix on SimOS-Mipsy 225MHz, tuned):\n"+
+		"  unit latencies:          rel. time %.2f (paper 0.71)\n"+
+		"  + 5-cycle mul, 19-cycle div: rel. time %.2f (paper 1.02)\n",
+		d.RelWithout, d.RelWith)
+	return d, text, nil
+}
+
+// defectWorkload maps a defect's workload hint to a concrete workload.
+func (s *Session) defectWorkload(hint string) core.Workload {
+	switch hint {
+	case "lu":
+		return s.Scale.LUWorkload()
+	case "radix":
+		return s.Scale.RadixWorkload(256, false)
+	case "cachemgmt":
+		lines, rounds := 256, 8
+		if s.Scale == ScaleQuick {
+			lines, rounds = 64, 2
+		}
+		return core.Workload{Name: "CacheMgmt", Make: func(procs int) emitter.Program {
+			return apps.CacheMgmt(apps.CacheMgmtOpts{Lines: lines, Rounds: rounds, Procs: procs})
+		}}
+	default:
+		return s.Scale.FFTWorkload(true)
+	}
+}
+
+// ExperimentDefects quantifies the historical simulator errors: each
+// defect is injected into its full-fidelity baseline and measured on a
+// workload that exposes it. Relative < 1 means the defect makes the
+// simulator optimistic.
+func (s *Session) ExperimentDefects() (string, error) {
+	var b strings.Builder
+	b.WriteString("Defect injection (execution time relative to defect-free simulator):\n")
+	for _, d := range core.KnownDefects() {
+		w := s.defectWorkload(d.WorkloadHint)
+		base := d.Baseline(1, true)
+		imp, err := core.MeasureDefect(d, base, w, 1)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %-26s [%-14s] on %-14s rel %.3f — %s\n",
+			d.Name, d.Class, w.Name, imp.Relative, d.Description)
+	}
+	return b.String(), nil
+}

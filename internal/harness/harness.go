@@ -1,0 +1,217 @@
+// Package harness turns the library into the paper's evaluation
+// section: a named, runnable experiment for every table and figure
+// (Tables 1–3, Figures 1–7) plus the in-text experiments (TLB-miss
+// cost, application blocking fixes, the multiply/divide latency
+// correction, and defect injection). Each experiment returns structured
+// data plus a text rendering that mirrors the paper's presentation.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+)
+
+// Scale selects experiment problem sizes.
+type Scale int
+
+const (
+	// ScaleFull uses the 1/16-of-paper sizes documented in
+	// EXPERIMENTS.md (minutes of wall time for the full suite).
+	ScaleFull Scale = iota
+	// ScaleQuick uses reduced sizes for tests and benchmarks
+	// (seconds); trends hold but TLB effects shrink with footprint.
+	ScaleQuick
+)
+
+// FFTWorkload returns the FFT workload; tlbBlocked selects the paper's
+// blocking fix.
+func (s Scale) FFTWorkload(tlbBlocked bool) core.Workload {
+	logN := 16
+	if s == ScaleQuick {
+		logN = 12
+	}
+	name := "FFT"
+	if !tlbBlocked {
+		name = "FFT(cache-blk)"
+	}
+	return core.Workload{Name: name, Make: func(procs int) emitter.Program {
+		return apps.FFT(apps.FFTOpts{LogN: logN, Procs: procs, TLBBlocked: tlbBlocked, Prefetch: true})
+	}}
+}
+
+// RadixWorkload returns Radix-Sort with the given radix; unplaced
+// disables data placement (Figure 7).
+func (s Scale) RadixWorkload(radix int, unplaced bool) core.Workload {
+	keys := 256 << 10
+	if s == ScaleQuick {
+		keys = 32 << 10
+	}
+	name := fmt.Sprintf("Radix(r=%d)", radix)
+	if unplaced {
+		name += "-unplaced"
+	}
+	return core.Workload{Name: name, Make: func(procs int) emitter.Program {
+		return apps.Radix(apps.RadixOpts{Keys: keys, Radix: radix, Procs: procs, Unplaced: unplaced})
+	}}
+}
+
+// LUWorkload returns the blocked LU workload.
+func (s Scale) LUWorkload() core.Workload {
+	n := 160
+	if s == ScaleQuick {
+		n = 96
+	}
+	return core.Workload{Name: "LU", Make: func(procs int) emitter.Program {
+		return apps.LU(apps.LUOpts{N: n, Procs: procs, Prefetch: true})
+	}}
+}
+
+// OceanWorkload returns the Ocean workload.
+func (s Scale) OceanWorkload() core.Workload {
+	n, grids, iters := 128, 14, 4
+	if s == ScaleQuick {
+		n, grids, iters = 64, 8, 2
+	}
+	return core.Workload{Name: "Ocean", Make: func(procs int) emitter.Program {
+		return apps.Ocean(apps.OceanOpts{N: n, Grids: grids, Iters: iters, Procs: procs, Prefetch: true})
+	}}
+}
+
+// InitialApps returns the four SPLASH-2 workloads as originally tuned
+// (FFT blocked for the cache, Radix-Sort with radix 256) — the Figure 1
+// inputs.
+func (s Scale) InitialApps() []core.Workload {
+	return []core.Workload{
+		s.FFTWorkload(false),
+		s.RadixWorkload(256, false),
+		s.LUWorkload(),
+		s.OceanWorkload(),
+	}
+}
+
+// FixedApps returns the workloads after the paper's TLB blocking fixes
+// (FFT blocked for the TLB, radix reduced to 32) — Figures 2–4.
+func (s Scale) FixedApps() []core.Workload {
+	return []core.Workload{
+		s.FFTWorkload(true),
+		s.RadixWorkload(32, false),
+		s.LUWorkload(),
+		s.OceanWorkload(),
+	}
+}
+
+// Session carries the shared state of one evaluation run: the hardware
+// reference, the scale, and cached calibrations (calibrating a
+// simulator is itself a set of machine runs, reused across figures).
+type Session struct {
+	Ref   *core.Reference
+	Scale Scale
+
+	cals map[string]core.Calibration
+}
+
+// NewSession builds a session with a 16-processor hardware reference at
+// the scaled cache geometry.
+func NewSession(scale Scale) *Session {
+	ref := core.NewReference(16, true)
+	if scale == ScaleQuick {
+		ref.Repeats = 2
+	}
+	return &Session{Ref: ref, Scale: scale, cals: make(map[string]core.Calibration)}
+}
+
+// Calibrate returns the (cached) calibration for cfg.
+func (s *Session) Calibrate(cfg machine.Config) (core.Calibration, error) {
+	if cal, ok := s.cals[cfg.Name]; ok {
+		return cal, nil
+	}
+	cal, err := core.NewCalibrator(s.Ref).Calibrate(cfg)
+	if err != nil {
+		return cal, err
+	}
+	s.cals[cfg.Name] = cal
+	return cal, nil
+}
+
+// UntunedConfigs returns the seven study simulators at the given size.
+func (s *Session) UntunedConfigs(procs int) []machine.Config {
+	return core.StandardConfigs(procs, true)
+}
+
+// TunedConfigs returns the seven study simulators after closing the
+// loop: each calibrated against the hardware reference.
+func (s *Session) TunedConfigs(procs int) ([]machine.Config, error) {
+	var out []machine.Config
+	for _, cfg := range core.StandardConfigs(procs, true) {
+		cal, err := s.Calibrate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("calibrating %s: %w", cfg.Name, err)
+		}
+		out = append(out, cal.Apply(cfg))
+	}
+	return out, nil
+}
+
+// renderRelTable renders a Figures 1–4 style table: workloads down,
+// configurations across, relative execution times in the cells.
+func renderRelTable(title string, res core.CompareResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (relative execution time, 1.0 = FLASH hardware; %dp)\n", title, res.Procs)
+	fmt.Fprintf(&b, "%-18s", "workload")
+	for _, c := range res.Configs {
+		b.WriteString(pad(shortName(c), 14))
+	}
+	b.WriteByte('\n')
+	for _, w := range res.Order {
+		fmt.Fprintf(&b, "%-18s", w)
+		for _, e := range res.Rows[w] {
+			b.WriteString(pad(fmt.Sprintf("%.2f", e.Relative), 14))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s + " "
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// shortName compresses config names for table columns.
+func shortName(s string) string {
+	s = strings.ReplaceAll(s, "SimOS-Mipsy ", "SO-M")
+	s = strings.ReplaceAll(s, "SimOS-MXS ", "SO-X")
+	s = strings.ReplaceAll(s, "Solo-Mipsy ", "Solo")
+	s = strings.ReplaceAll(s, " (tuned)", "*")
+	s = strings.ReplaceAll(s, "MHz", "")
+	return s
+}
+
+// renderCurves renders Figures 5–7 style speedup curves as text.
+func renderCurves(title string, curves []core.Curve) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (speedup)\n", title)
+	if len(curves) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-28s", "procs")
+	for _, p := range curves[0].Procs {
+		fmt.Fprintf(&b, "%8d", p)
+	}
+	b.WriteByte('\n')
+	for _, c := range curves {
+		fmt.Fprintf(&b, "%-28s", c.Label)
+		for _, s := range c.Speedup {
+			fmt.Fprintf(&b, "%8.2f", s)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

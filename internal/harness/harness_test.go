@@ -1,0 +1,129 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+
+	"flashsim/internal/harness"
+	"flashsim/internal/proto"
+)
+
+func TestTable1Renders(t *testing.T) {
+	out := harness.Table1()
+	for _, want := range []string{"150 MHz", "hypercube", "dynamic pointer allocation", "140 ns"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table 1 missing %q", want)
+		}
+	}
+}
+
+func TestTable2Renders(t *testing.T) {
+	full := harness.Table2(harness.ScaleFull)
+	if !strings.Contains(full, "1M points") || !strings.Contains(full, "64K points") {
+		t.Error("full-scale table 2 content")
+	}
+	quick := harness.Table2(harness.ScaleQuick)
+	if !strings.Contains(quick, "quick") {
+		t.Error("quick-scale table 2 content")
+	}
+}
+
+func TestTable3ShapeQuick(t *testing.T) {
+	s := harness.NewSession(harness.ScaleQuick)
+	d, text, err := s.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "local-clean") {
+		t.Error("missing protocol cases in render")
+	}
+	// Tuned FlashLite must match the hardware closely on every case.
+	for _, pc := range d.Cases {
+		rel := d.Tuned[pc] / d.HW[pc]
+		if rel < 0.9 || rel > 1.1 {
+			t.Errorf("%v tuned rel %.2f", pc, rel)
+		}
+	}
+	// The Table 3 ordering must hold on the hardware column.
+	if !(d.HW[proto.LocalClean] < d.HW[proto.RemoteClean]) {
+		t.Error("local clean not fastest")
+	}
+	if !(d.HW[proto.RemoteDirtyRemote] > d.HW[proto.RemoteClean]) {
+		t.Error("three-hop case not slowest remote")
+	}
+}
+
+func TestFigure1ShapeQuick(t *testing.T) {
+	s := harness.NewSession(harness.ScaleQuick)
+	res, text, err := s.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text == "" || len(res.Configs) != 7 {
+		t.Fatalf("render/configs: %d configs", len(res.Configs))
+	}
+	// Paper shape: the simulators do not agree with the hardware; the
+	// worst error is substantial.
+	if res.MaxAbsError() < 0.15 {
+		t.Errorf("initial comparison suspiciously accurate: max err %.2f", res.MaxAbsError())
+	}
+	// Faster Mipsy clocks must predict faster times for every app.
+	for _, w := range res.Order {
+		e150, _ := res.Entry(w, "SimOS-Mipsy 150MHz")
+		e300, _ := res.Entry(w, "SimOS-Mipsy 300MHz")
+		if e300.Relative >= e150.Relative {
+			t.Errorf("%s: 300MHz (%.2f) not faster than 150MHz (%.2f)", w, e300.Relative, e150.Relative)
+		}
+	}
+}
+
+func TestExperimentTLBCostQuick(t *testing.T) {
+	s := harness.NewSession(harness.ScaleQuick)
+	d, text, err := s.ExperimentTLBCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "FLASH hardware") {
+		t.Error("render")
+	}
+	if d.HWCycles < 55 || d.HWCycles > 75 {
+		t.Errorf("hardware TLB cost %.1f, want ~65", d.HWCycles)
+	}
+	if d.MipsyCycles > d.MXSCycles || d.MXSCycles > d.HWCycles {
+		t.Errorf("ordering: mipsy %.1f <= mxs %.1f <= hw %.1f violated",
+			d.MipsyCycles, d.MXSCycles, d.HWCycles)
+	}
+}
+
+func TestWorkloadFactories(t *testing.T) {
+	s := harness.ScaleQuick
+	for _, w := range append(s.InitialApps(), s.FixedApps()...) {
+		prog := w.Make(2)
+		if prog.Threads != 2 {
+			t.Errorf("%s: threads %d", w.Name, prog.Threads)
+		}
+	}
+}
+
+func TestTunedConfigsCached(t *testing.T) {
+	s := harness.NewSession(harness.ScaleQuick)
+	a, err := s.TunedConfigs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.TunedConfigs(4) // second call reuses calibrations
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 7 || len(b) != 7 {
+		t.Fatalf("config counts %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if !strings.HasSuffix(a[i].Name, "(tuned)") {
+			t.Errorf("config %q not marked tuned", a[i].Name)
+		}
+		if b[i].Procs != 4 {
+			t.Errorf("config %q procs %d", b[i].Name, b[i].Procs)
+		}
+	}
+}

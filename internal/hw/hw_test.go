@@ -1,0 +1,43 @@
+package hw_test
+
+import (
+	"testing"
+
+	"flashsim/internal/hw"
+	"flashsim/internal/machine"
+)
+
+func TestConfigIsFullFidelity(t *testing.T) {
+	cfg := hw.Config(16, true)
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CPU != machine.CPUMXS || cfg.ClockMHz != 150 {
+		t.Fatal("hardware is a 150 MHz out-of-order core")
+	}
+	if cfg.OS.TLBHandlerCycles != hw.TrueTLBHandlerCycles {
+		t.Fatalf("TLB handler %d, want %d", cfg.OS.TLBHandlerCycles, hw.TrueTLBHandlerCycles)
+	}
+	if !cfg.MXS.ModelAddressInterlocks {
+		t.Fatal("hardware models address interlocks")
+	}
+	if cfg.MXS.BugFastIssue || cfg.MXS.BugCacheOpStall {
+		t.Fatal("hardware has no simulator bugs")
+	}
+	if !cfg.ModelL2InterfaceOccupancy {
+		t.Fatal("hardware's cache interface is occupied during transfers")
+	}
+	if cfg.JitterPct == 0 {
+		t.Fatal("real hardware measurements jitter")
+	}
+	if cfg.Mem != machine.MemFlashLite {
+		t.Fatal("hardware memory system is the detailed model")
+	}
+}
+
+func TestFullScaleConfig(t *testing.T) {
+	cfg := hw.Config(16, false)
+	if cfg.L2.Size != 2<<20 || cfg.L1D.Size != 32<<10 {
+		t.Fatalf("full-scale caches: L1=%d L2=%d", cfg.L1D.Size, cfg.L2.Size)
+	}
+}

@@ -1,0 +1,302 @@
+package machine
+
+import (
+	"fmt"
+
+	"flashsim/internal/cache"
+	"flashsim/internal/cpu"
+	"flashsim/internal/cpu/mipsy"
+	"flashsim/internal/cpu/mxs"
+	"flashsim/internal/emitter"
+	"flashsim/internal/isa"
+	"flashsim/internal/memsys"
+	"flashsim/internal/osmodel"
+	"flashsim/internal/sim"
+	"flashsim/internal/vm"
+)
+
+// BarrierStart and BarrierEnd alias the emitter's timed-section barrier
+// ids for convenience.
+const (
+	BarrierStart = emitter.BarrierStart
+	BarrierEnd   = emitter.BarrierEnd
+)
+
+// Machine is one fully composed simulated system executing one program.
+type Machine struct {
+	cfg   Config
+	queue *sim.Queue
+	mem   memsys.System
+	os    *osmodel.OS
+	nodes []*node
+
+	barriers   map[uint32]*barrierState
+	locks      map[uint32]*lockState
+	barrierRel map[uint32][]sim.Ticks
+
+	finished    int
+	finishTimes []sim.Ticks
+	runErr      error
+}
+
+type node struct {
+	id   int
+	core cpu.CPU
+	port *memPort
+}
+
+type barrierState struct {
+	waiting []int
+	maxT    sim.Ticks
+}
+
+type lockState struct {
+	held  bool
+	queue []lockWaiter
+}
+
+type lockWaiter struct {
+	node  int
+	ready sim.Ticks
+}
+
+// Run executes prog on a machine described by cfg and returns the
+// result. Each call builds a fresh machine; state never leaks between
+// runs.
+func Run(cfg Config, prog emitter.Program) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if prog.Threads != cfg.Procs {
+		return Result{}, fmt.Errorf("machine %q: program %s has %d threads but machine has %d processors",
+			cfg.Name, prog.FullName(), prog.Threads, cfg.Procs)
+	}
+	m := &Machine{
+		cfg:        cfg,
+		queue:      sim.NewQueue(),
+		barriers:   make(map[uint32]*barrierState),
+		locks:      make(map[uint32]*lockState),
+		barrierRel: make(map[uint32][]sim.Ticks),
+	}
+
+	space, streams := prog.Launch()
+	defer streams.Abort()
+
+	pt := osmodel.NewPageTable(cfg.OS.Kind, space, cfg.Procs, cfg.Colors())
+	m.os = osmodel.New(cfg.OS, pt, cfg.Procs)
+
+	switch cfg.Mem {
+	case MemNUMA:
+		nc := memsys.DefaultNUMAConfig(cfg.Procs)
+		if cfg.NUMA != nil {
+			nc = *cfg.NUMA
+			nc.Nodes = cfg.Procs
+		}
+		m.mem = memsys.NewNUMA(nc)
+	default:
+		fc := memsys.DefaultFlashConfig(cfg.Procs, cfg.FlashTiming)
+		if cfg.MagicTable != nil {
+			fc.Magic.Table = *cfg.MagicTable
+		}
+		m.mem = memsys.NewFlashLite(fc)
+	}
+	m.mem.SetPeers(m)
+
+	clock := sim.NewClock(cfg.ClockMHz)
+	m.nodes = make([]*node, cfg.Procs)
+	m.finishTimes = make([]sim.Ticks, cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		p := &memPort{
+			m:     m,
+			node:  i,
+			clock: clock,
+			l1:    cache.New(cfg.L1D),
+			l2:    cache.New(cfg.L2),
+			wb:    cache.NewWriteBuffer(cfg.WriteBufferEntries),
+			mshr:  cache.NewMSHRs(cfg.MSHRCount),
+			l2if: &cache.L2Interface{
+				Enabled:       cfg.ModelL2InterfaceOccupancy,
+				TransferTicks: sim.NS(cfg.L2TransferNS),
+			},
+		}
+		var core cpu.CPU
+		switch cfg.CPU {
+		case CPUMXS:
+			mc := mxs.DefaultConfig(clock)
+			mc.Fidelity = cfg.MXS
+			mc.Quantum = cfg.Quantum
+			mc.Seed = cfg.Seed + uint64(i)*0x9E37
+			core = mxs.New(mc, streams.Readers[i], p)
+		default:
+			core = mipsy.New(mipsy.Config{
+				Clock:             clock,
+				ModelInstrLatency: cfg.ModelInstrLatency,
+				Quantum:           cfg.Quantum,
+			}, streams.Readers[i], p)
+		}
+		m.nodes[i] = &node{id: i, core: core, port: p}
+	}
+
+	for _, n := range m.nodes {
+		n := n
+		m.queue.Schedule(0, int32(n.id), func(now sim.Ticks) { m.step(n, now) })
+	}
+	const eventCap = 2_000_000_000 // runaway guard, far above any real run
+	m.queue.Run(eventCap)
+
+	if err := streams.Err(); err != nil {
+		return Result{}, fmt.Errorf("machine %q: %w", cfg.Name, err)
+	}
+	if m.runErr != nil {
+		return Result{}, m.runErr
+	}
+	if m.finished != cfg.Procs {
+		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
+			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
+	}
+	return m.collect(), nil
+}
+
+// step runs one scheduling slice of a node's processor.
+func (m *Machine) step(n *node, now sim.Ticks) {
+	out := n.core.Run(now)
+	switch out.Kind {
+	case cpu.Yield:
+		at := out.Time
+		if at < now {
+			at = now
+		}
+		m.queue.Schedule(at, int32(n.id), func(t sim.Ticks) { m.step(n, t) })
+	case cpu.Finished:
+		m.finishTimes[n.id] = out.Time
+		m.finished++
+	case cpu.SyncOp:
+		m.handleSync(n, out)
+	}
+}
+
+// resume schedules a node's next slice at time t.
+func (m *Machine) resume(n *node, t sim.Ticks, now sim.Ticks) {
+	if t < now {
+		t = now
+	}
+	m.queue.Schedule(t, int32(n.id), func(tt sim.Ticks) { m.step(n, tt) })
+}
+
+// syncPA synthesizes the physical line address backing a lock or
+// barrier variable, round-robined across home nodes (lock and barrier
+// traffic exercises the real coherence paths).
+func (m *Machine) syncPA(base uint32, id uint32) uint64 {
+	home := int32(id) % int32(m.cfg.Procs)
+	return vm.PhysPage{Node: home, Frame: base + id}.Addr(0)
+}
+
+const (
+	lockFrameBase    = 0x00900000
+	barrierFrameBase = 0x00A00000
+)
+
+// handleSync processes a LOCK/UNLOCK/BARRIER instruction.
+func (m *Machine) handleSync(n *node, out cpu.Outcome) {
+	id := out.Instr.Aux
+	now := m.queue.Now()
+	switch out.Instr.Op {
+	case isa.Barrier:
+		t := n.port.wb.DrainBy(out.Time)
+		w := m.mem.Write(t, n.id, m.syncPA(barrierFrameBase, id))
+		bs := m.barriers[id]
+		if bs == nil {
+			bs = &barrierState{}
+			m.barriers[id] = bs
+		}
+		bs.waiting = append(bs.waiting, n.id)
+		if w.Done > bs.maxT {
+			bs.maxT = w.Done
+		}
+		if len(bs.waiting) == m.cfg.Procs {
+			rel := bs.maxT
+			m.barrierRel[id] = append(m.barrierRel[id], rel)
+			for _, id2 := range bs.waiting {
+				m.resume(m.nodes[id2], rel, now)
+			}
+			bs.waiting = bs.waiting[:0]
+			bs.maxT = 0
+		}
+	case isa.Lock:
+		t := n.port.wb.DrainBy(out.Time)
+		w := m.mem.Write(t, n.id, m.syncPA(lockFrameBase, id))
+		ls := m.locks[id]
+		if ls == nil {
+			ls = &lockState{}
+			m.locks[id] = ls
+		}
+		if !ls.held {
+			ls.held = true
+			m.resume(n, w.Done, now)
+		} else {
+			ls.queue = append(ls.queue, lockWaiter{node: n.id, ready: w.Done})
+		}
+	case isa.Unlock:
+		t := n.port.wb.DrainBy(out.Time)
+		w := m.mem.Write(t, n.id, m.syncPA(lockFrameBase, id))
+		ls := m.locks[id]
+		if ls == nil || !ls.held {
+			m.runErr = fmt.Errorf("machine %q: node %d unlocked free lock %d", m.cfg.Name, n.id, id)
+			m.resume(n, t, now)
+			return
+		}
+		// The unlocking processor proceeds immediately; the release
+		// propagates at the store's completion.
+		m.resume(n, t, now)
+		if len(ls.queue) > 0 {
+			next := ls.queue[0]
+			ls.queue = ls.queue[1:]
+			start := w.Done
+			if next.ready > start {
+				start = next.ready
+			}
+			g := m.mem.Write(start, next.node, m.syncPA(lockFrameBase, id))
+			m.resume(m.nodes[next.node], g.Done, now)
+		} else {
+			ls.held = false
+		}
+	default:
+		m.runErr = fmt.Errorf("machine %q: unexpected sync op %v", m.cfg.Name, out.Instr.Op)
+	}
+}
+
+// Invalidate implements memsys.Peers over node n's cache hierarchy.
+func (m *Machine) Invalidate(n int, line uint64) bool {
+	p := m.nodes[n].port
+	present := false
+	for a := line; a < line+p.l2.Config().LineSize; a += p.l1.Config().LineSize {
+		if p.l1.Invalidate(a) != cache.Invalid {
+			present = true
+		}
+	}
+	if p.l2.Invalidate(line) != cache.Invalid {
+		present = true
+	}
+	return present
+}
+
+// Downgrade implements memsys.Peers over node n's cache hierarchy.
+func (m *Machine) Downgrade(n int, line uint64) (bool, bool) {
+	p := m.nodes[n].port
+	present, dirty := false, false
+	for a := line; a < line+p.l2.Config().LineSize; a += p.l1.Config().LineSize {
+		switch p.l1.Downgrade(a) {
+		case cache.Modified:
+			present, dirty = true, true
+		case cache.Exclusive, cache.Shared:
+			present = true
+		}
+	}
+	switch p.l2.Downgrade(line) {
+	case cache.Modified:
+		present, dirty = true, true
+	case cache.Exclusive, cache.Shared:
+		present = true
+	}
+	return present, dirty
+}

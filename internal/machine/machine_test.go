@@ -1,0 +1,124 @@
+package machine_test
+
+import (
+	"testing"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/emitter"
+	"flashsim/internal/hw"
+	"flashsim/internal/machine"
+	"flashsim/internal/memsys"
+	"flashsim/internal/osmodel"
+)
+
+// simpleConfig returns a small Solo-Mipsy machine for fast tests.
+func simpleConfig(procs int) machine.Config {
+	cfg := machine.Base(procs, true)
+	cfg.Name = "test-solo-mipsy"
+	cfg.CPU = machine.CPUMipsy
+	cfg.ClockMHz = 150
+	cfg.OS = osmodel.DefaultSolo()
+	cfg.Mem = machine.MemFlashLite
+	cfg.FlashTiming = memsys.TrueTiming()
+	return cfg
+}
+
+// trivialProgram stores and reloads a small array.
+func trivialProgram(procs, n int) emitter.Program {
+	return emitter.Program{
+		Name:    "trivial",
+		Threads: procs,
+		Setup: func(as *emitter.AddressSpace) any {
+			return as.AllocPageAligned("data", uint64(n)*8,
+				emitter.Placement{Kind: emitter.PlaceBlocked, Stride: uint64(n) * 8 / uint64(procs)})
+		},
+		Body: func(t *emitter.Thread, shared any) {
+			r := shared.(emitter.Region)
+			lo := t.ID * n / t.N
+			hi := (t.ID + 1) * n / t.N
+			for i := lo; i < hi; i++ {
+				t.Store(r.Base+uint64(i)*8, 8, emitter.None, emitter.None)
+			}
+			t.Barrier(emitter.BarrierStart)
+			var prev emitter.Val
+			for i := lo; i < hi; i++ {
+				prev = t.Load(r.Base+uint64(i)*8, 8, emitter.None, prev)
+			}
+			t.Barrier(emitter.BarrierEnd)
+		},
+	}
+}
+
+func TestTrivialUniprocessor(t *testing.T) {
+	res, err := machine.Run(simpleConfig(1), trivialProgram(1, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exec == 0 || res.Total == 0 {
+		t.Fatalf("zero time: %+v", res)
+	}
+	if res.Instructions == 0 {
+		t.Fatal("no instructions executed")
+	}
+	if res.Exec > res.Total {
+		t.Fatalf("exec %d > total %d", res.Exec, res.Total)
+	}
+}
+
+func TestTrivialMultiprocessor(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		res, err := machine.Run(simpleConfig(p), trivialProgram(p, 8192))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if res.Procs != p {
+			t.Fatalf("p=%d: got %d procs", p, res.Procs)
+		}
+	}
+}
+
+func TestHardwareReferenceRunsFFT(t *testing.T) {
+	cfg := hw.Config(4, true)
+	prog := apps.FFT(apps.FFTOpts{LogN: 12, Procs: 4, TLBBlocked: true})
+	res, err := machine.Run(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions < 100_000 {
+		t.Fatalf("suspiciously few instructions: %d", res.Instructions)
+	}
+	t.Logf("fft on 4p HW: %v", res)
+}
+
+func TestRadixSortsCorrectly(t *testing.T) {
+	cfg := simpleConfig(4)
+	prog := apps.Radix(apps.RadixOpts{Keys: 1 << 12, Radix: 32, Procs: 4, Verify: true})
+	if _, err := machine.Run(cfg, prog); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadMismatchRejected(t *testing.T) {
+	_, err := machine.Run(simpleConfig(2), trivialProgram(4, 1024))
+	if err == nil {
+		t.Fatal("expected thread/processor mismatch error")
+	}
+}
+
+func TestSpeedupDirection(t *testing.T) {
+	// More processors must not make the parallel section slower for an
+	// embarrassingly parallel kernel.
+	prog1 := trivialProgram(1, 1<<15)
+	res1, err := machine.Run(simpleConfig(1), prog1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog4 := trivialProgram(4, 1<<15)
+	res4, err := machine.Run(simpleConfig(4), prog4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.Exec >= res1.Exec {
+		t.Fatalf("no speedup: 1p=%d ticks, 4p=%d ticks", res1.Exec, res4.Exec)
+	}
+}

@@ -1,0 +1,256 @@
+package machine
+
+import (
+	"flashsim/internal/cache"
+	"flashsim/internal/cpu"
+	"flashsim/internal/osmodel"
+	"flashsim/internal/proto"
+	"flashsim/internal/sim"
+	"flashsim/internal/vm"
+)
+
+// PortStats counts per-node memory-path events.
+type PortStats struct {
+	Loads, Stores   uint64
+	L1Hits, L2Hits  uint64
+	MemReads        uint64
+	MemWrites       uint64
+	Upgrades        uint64
+	Prefetches      uint64
+	PrefetchDrops   uint64 // dropped on TLB miss (non-binding)
+	TLBPenaltyTicks sim.Ticks
+	WBStallTicks    sim.Ticks
+	MSHRStallTicks  sim.Ticks
+	ReadLatTicks    sim.Ticks // sum of memsys read latencies (debug)
+	WriteLatTicks   sim.Ticks // sum of memsys write latencies (debug)
+	CaseCounts      [proto.NumCases]uint64
+}
+
+// memPort is a node's data-access path: TLB/OS translation, L1, L2,
+// write buffer, MSHRs, L2 interface, then the shared memory system. It
+// implements cpu.Port.
+type memPort struct {
+	m     *Machine
+	node  int
+	clock sim.Clock
+	l1    *cache.Cache
+	l2    *cache.Cache
+	wb    *cache.WriteBuffer
+	mshr  *cache.MSHRs
+	l2if  *cache.L2Interface
+	stats PortStats
+}
+
+func (p *memPort) cyc(n uint32) sim.Ticks { return p.clock.Cycles(uint64(n)) }
+
+// fillL1 inserts the L1 line for pa after a fill from L2 or memory.
+// exclusive selects whether the L1 copy carries write permission.
+func (p *memPort) fillL1(pa uint64, exclusive bool) {
+	st := cache.Shared
+	if exclusive {
+		st = cache.Exclusive
+	}
+	v := p.l1.Insert(pa, st)
+	if v.Valid && v.Dirty {
+		// Dirty L1 victim folds into the (inclusive) L2 copy.
+		p.l2.MarkDirty(v.Addr)
+	}
+}
+
+// evictL2 handles an L2 victim: enforce inclusion in L1, write back
+// dirty data, or send a replacement hint for clean-exclusive lines so
+// the directory's owner records never go stale.
+func (p *memPort) evictL2(t sim.Ticks, v cache.Victim) {
+	if !v.Valid {
+		return
+	}
+	dirty := v.Dirty
+	for a := v.Addr; a < v.Addr+p.l2.Config().LineSize; a += p.l1.Config().LineSize {
+		if p.l1.Invalidate(a) == cache.Modified {
+			dirty = true
+		}
+	}
+	switch {
+	case dirty:
+		p.m.mem.Writeback(t, p.node, v.Addr)
+	case v.State == cache.Exclusive:
+		p.m.mem.Replace(t, p.node, v.Addr)
+	}
+}
+
+// Load implements cpu.Port.
+func (p *memPort) Load(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
+	p.stats.Loads++
+	tr := p.m.os.Translate(p.node, va)
+	if tr.PenaltyCycles > 0 {
+		d := p.cyc(tr.PenaltyCycles)
+		p.stats.TLBPenaltyTicks += d
+		t += d
+	}
+	pa := tr.PA
+	if _, hit := p.l1.Access(pa, false); hit {
+		p.stats.L1Hits++
+		return cpu.MemInfo{Done: t + p.cyc(p.m.cfg.L1HitCycles), L1Hit: true, TLBMiss: tr.TLBMiss}
+	}
+	t2 := t + p.cyc(p.m.cfg.L1HitCycles) // L1 miss detection
+	t2 = p.l2if.AcquireForTagCheck(t2)
+	if st2, hit2 := p.l2.Access(pa, false); hit2 {
+		p.stats.L2Hits++
+		done := t2 + p.cyc(p.m.cfg.L2HitCycles)
+		p.fillL1(pa, st2 == cache.Modified || st2 == cache.Exclusive)
+		return cpu.MemInfo{Done: done, L2Hit: true, TLBMiss: tr.TLBMiss}
+	}
+	// L2 miss: the off-chip tag check itself costs L2HitCycles before
+	// the request can leave the chip.
+	t2 += p.cyc(p.m.cfg.L2HitCycles)
+	line := p.l2.Config().LineAddr(pa)
+	if mdone, ok := p.mshr.Lookup(line, t2); ok {
+		done := mdone + p.cyc(p.m.cfg.RestartCycles)
+		if done < t2 {
+			done = t2
+		}
+		p.fillL1(pa, false)
+		return cpu.MemInfo{Done: done, TLBMiss: tr.TLBMiss, WentToMemory: true, IssuedAt: t2}
+	}
+	issueT := p.mshr.Reserve(line, t2)
+	res := p.m.mem.Read(issueT, p.node, line)
+	p.stats.MemReads++
+	p.stats.CaseCounts[res.Case]++
+	p.stats.ReadLatTicks += res.Done - issueT
+	// Critical-word-first: the processor restarts as the line transfer
+	// begins; the external interface stays busy for the whole line.
+	done := p.l2if.AcquireForRefill(res.Done)
+	done += p.cyc(p.m.cfg.RestartCycles)
+	p.mshr.Complete(line, done)
+	st := cache.Shared
+	if res.Exclusive {
+		st = cache.Exclusive
+	}
+	p.evictL2(done, p.l2.Insert(line, st))
+	p.fillL1(pa, res.Exclusive)
+	return cpu.MemInfo{Done: done, TLBMiss: tr.TLBMiss, WentToMemory: true, IssuedAt: issueT}
+}
+
+// Store implements cpu.Port.
+func (p *memPort) Store(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
+	p.stats.Stores++
+	tr := p.m.os.Translate(p.node, va)
+	if tr.PenaltyCycles > 0 {
+		d := p.cyc(tr.PenaltyCycles)
+		p.stats.TLBPenaltyTicks += d
+		t += d
+	}
+	pa := tr.PA
+	if st, hit := p.l1.Access(pa, true); hit {
+		p.stats.L1Hits++
+		if st == cache.Exclusive {
+			// First write to an exclusively fetched line: propagate
+			// dirtiness to the inclusive L2 copy.
+			p.l2.MarkDirty(pa)
+		}
+		return cpu.MemInfo{Done: t + p.cyc(p.m.cfg.L1HitCycles), L1Hit: true, TLBMiss: tr.TLBMiss}
+	}
+	t2 := t + p.cyc(p.m.cfg.L1HitCycles)
+	t2 = p.l2if.AcquireForTagCheck(t2)
+	if st2, hit2 := p.l2.Access(pa, true); hit2 {
+		p.stats.L2Hits++
+		done := t2 + p.cyc(p.m.cfg.L2HitCycles)
+		_ = st2
+		p.fillL1(pa, true)
+		p.l1.MarkDirty(pa)
+		return cpu.MemInfo{Done: done, L2Hit: true, TLBMiss: tr.TLBMiss}
+	}
+	// L2 write miss or upgrade: fetch/own through the memory system,
+	// but let the processor proceed through the write buffer.
+	t2 += p.cyc(p.m.cfg.L2HitCycles)
+	line := p.l2.Config().LineAddr(pa)
+	var mdone sim.Ticks
+	issuedAt := t2
+	if md, ok := p.mshr.Lookup(line, t2); ok {
+		mdone = md
+	} else {
+		issueT := p.mshr.Reserve(line, t2)
+		issuedAt = issueT
+		res := p.m.mem.Write(issueT, p.node, line)
+		p.stats.WriteLatTicks += res.Done - issueT
+		p.stats.MemWrites++
+		p.stats.CaseCounts[res.Case]++
+		if res.Case == proto.Upgrade {
+			p.stats.Upgrades++
+		}
+		mdone = p.l2if.AcquireForRefill(res.Done)
+		p.mshr.Complete(line, mdone)
+	}
+	p.evictL2(mdone, p.l2.Insert(line, cache.Modified))
+	p.fillL1(pa, true)
+	p.l1.MarkDirty(pa)
+	proceed := p.wb.Push(t2, mdone)
+	return cpu.MemInfo{Done: proceed, TLBMiss: tr.TLBMiss, WentToMemory: true, IssuedAt: issuedAt}
+}
+
+// Prefetch implements cpu.Port: non-binding, dropped on a TLB miss.
+func (p *memPort) Prefetch(t sim.Ticks, va uint64) {
+	p.stats.Prefetches++
+	var pa uint64
+	if p.m.os.Kind() == osmodel.SimOS {
+		tl := p.m.os.TLB(p.node)
+		if !tl.Probe(vm.VPage(va)) {
+			p.stats.PrefetchDrops++
+			return
+		}
+		pp, ok := p.m.os.PageTable().Lookup(va)
+		if !ok {
+			p.stats.PrefetchDrops++
+			return
+		}
+		pa = pp.Addr(va)
+	} else {
+		tr := p.m.os.Translate(p.node, va)
+		pa = tr.PA
+	}
+	if p.l1.Lookup(pa) != cache.Invalid || p.l2.Lookup(pa) != cache.Invalid {
+		return
+	}
+	line := p.l2.Config().LineAddr(pa)
+	if _, ok := p.mshr.Lookup(line, t); ok {
+		return
+	}
+	issueT := p.mshr.Reserve(line, t)
+	res := p.m.mem.Read(issueT, p.node, line)
+	p.stats.MemReads++
+	p.stats.CaseCounts[res.Case]++
+	done := p.l2if.AcquireForRefill(res.Done)
+	p.mshr.Complete(line, done)
+	st := cache.Shared
+	if res.Exclusive {
+		st = cache.Exclusive
+	}
+	p.evictL2(done, p.l2.Insert(line, st))
+	p.fillL1(pa, res.Exclusive)
+}
+
+// CacheOp implements cpu.Port (hit-writeback-invalidate semantics).
+func (p *memPort) CacheOp(t sim.Ticks, va uint64, aux uint32) cpu.MemInfo {
+	tr := p.m.os.Translate(p.node, va)
+	if tr.PenaltyCycles > 0 {
+		t += p.cyc(tr.PenaltyCycles)
+	}
+	pa := tr.PA
+	dirty := false
+	for a := p.l2.Config().LineAddr(pa); a < p.l2.Config().LineAddr(pa)+p.l2.Config().LineSize; a += p.l1.Config().LineSize {
+		if p.l1.Invalidate(a) == cache.Modified {
+			dirty = true
+		}
+	}
+	if p.l2.Invalidate(pa) == cache.Modified {
+		dirty = true
+	}
+	done := t + p.cyc(p.m.cfg.L2HitCycles)
+	if dirty {
+		p.m.mem.Writeback(done, p.node, p.l2.Config().LineAddr(pa))
+	}
+	return cpu.MemInfo{Done: done, DirtyCacheOp: dirty, TLBMiss: tr.TLBMiss, WentToMemory: dirty}
+}
+
+// SyscallCost implements cpu.Port.
+func (p *memPort) SyscallCost(aux uint32) uint32 { return p.m.os.SyscallCost(aux) }

@@ -1,0 +1,139 @@
+package machine
+
+import (
+	"fmt"
+
+	"flashsim/internal/cache"
+	"flashsim/internal/cpu"
+	"flashsim/internal/proto"
+	"flashsim/internal/sim"
+)
+
+// Result is the outcome of one machine run.
+type Result struct {
+	// Config names the simulator that produced the result.
+	Config string
+	// Procs is the processor count.
+	Procs int
+
+	// Exec is the timed parallel section (between the releases of
+	// BarrierStart and BarrierEnd), with jitter applied; Total is the
+	// full run.
+	Exec  sim.Ticks
+	Total sim.Ticks
+
+	// Instructions is the total committed instruction count.
+	Instructions uint64
+	// PerProc carries each core's counters.
+	PerProc []cpu.Stats
+	// Ports carries each node's memory-path counters.
+	Ports []PortStats
+
+	// L1 and L2 aggregate cache statistics across nodes.
+	L1 cache.Stats
+	L2 cache.Stats
+	// TLBMisses aggregates TLB refills (zero under Solo).
+	TLBMisses uint64
+	// PagesMapped is the page-table population at the end of the run.
+	PagesMapped int
+
+	// CaseCounts aggregates protocol cases across nodes.
+	CaseCounts [proto.NumCases]uint64
+	// Dir is the directory's view of protocol activity.
+	Dir proto.DirStats
+
+	// BarrierReleases records the release time(s) of every barrier id.
+	BarrierReleases map[uint32][]sim.Ticks
+}
+
+// ExecSeconds returns the parallel-section time in seconds.
+func (r Result) ExecSeconds() float64 { return float64(r.Exec) / sim.TickHz }
+
+// ExecNS returns the parallel-section time in nanoseconds.
+func (r Result) ExecNS() float64 { return sim.ToNS(r.Exec) }
+
+// L1MissRate returns misses/(hits+misses) for the L1 data caches.
+func (r Result) L1MissRate() float64 { return missRate(r.L1) }
+
+// L2MissRate returns misses/(hits+misses) for the secondary caches.
+func (r Result) L2MissRate() float64 { return missRate(r.L2) }
+
+func missRate(s cache.Stats) float64 {
+	tot := s.Hits + s.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(tot)
+}
+
+// String summarizes the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s p=%d exec=%.3fms instr=%d l2miss=%.2f%% tlbmiss=%d",
+		r.Config, r.Procs, r.ExecSeconds()*1e3, r.Instructions, 100*r.L2MissRate(), r.TLBMisses)
+}
+
+// collect assembles the Result after the event loop drains.
+func (m *Machine) collect() Result {
+	r := Result{
+		Config:          m.cfg.Name,
+		Procs:           m.cfg.Procs,
+		PerProc:         make([]cpu.Stats, len(m.nodes)),
+		Ports:           make([]PortStats, len(m.nodes)),
+		BarrierReleases: m.barrierRel,
+		PagesMapped:     m.os.PageTable().Mapped(),
+		TLBMisses:       m.os.TLBMisses(),
+		Dir:             m.mem.Directory().Stats(),
+	}
+	for i, n := range m.nodes {
+		r.PerProc[i] = n.core.Stats()
+		r.Ports[i] = n.port.stats
+		_, r.Ports[i].WBStallTicks = n.port.wb.Stalls()
+		_, r.Ports[i].MSHRStallTicks = n.port.mshr.Stalls()
+		r.Instructions += r.PerProc[i].Instructions
+		addCache(&r.L1, n.port.l1.Stats())
+		addCache(&r.L2, n.port.l2.Stats())
+		for c := 0; c < int(proto.NumCases); c++ {
+			r.CaseCounts[c] += n.port.stats.CaseCounts[c]
+		}
+		if ft := m.finishTimes[i]; ft > r.Total {
+			r.Total = ft
+		}
+	}
+	r.Exec = r.Total
+	if starts, ok := m.barrierRel[BarrierStart]; ok && len(starts) > 0 {
+		if ends, ok2 := m.barrierRel[BarrierEnd]; ok2 && len(ends) > 0 {
+			start := starts[0]
+			end := ends[len(ends)-1]
+			if end > start {
+				r.Exec = end - start
+			}
+		}
+	}
+	if m.cfg.JitterPct != 0 {
+		r.Exec = jitter(r.Exec, m.cfg.JitterPct, m.cfg.Seed)
+	}
+	return r
+}
+
+func addCache(dst *cache.Stats, s cache.Stats) {
+	dst.Hits += s.Hits
+	dst.Misses += s.Misses
+	dst.Evictions += s.Evictions
+	dst.Writebacks += s.Writebacks
+	dst.Invals += s.Invals
+	dst.Interventio += s.Interventio
+}
+
+// jitter perturbs t by a deterministic pseudo-random factor in
+// [1-pct/100, 1+pct/100].
+func jitter(t sim.Ticks, pct float64, seed uint64) sim.Ticks {
+	x := seed*0x9E3779B97F4A7C15 + 0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	u := float64(x>>11) / float64(1<<53) // [0,1)
+	f := 1 + (pct/100)*(2*u-1)
+	return sim.Ticks(float64(t) * f)
+}

@@ -1,0 +1,138 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flashsim/internal/sim"
+)
+
+func TestHopsIsHammingDistance(t *testing.T) {
+	n := New(DefaultConfig(16))
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {0, 1, 1}, {0, 3, 2}, {0, 15, 4}, {5, 10, 4}, {8, 12, 1},
+	}
+	for _, c := range cases {
+		if got := n.Hops(c.a, c.b); got != c.want {
+			t.Errorf("hops(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRouteIsECube(t *testing.T) {
+	n := New(DefaultConfig(16))
+	route := n.Route(0, 11) // 11 = 1011b: dims 0, 1, 3
+	want := []int{1, 3, 11}
+	if len(route) != len(want) {
+		t.Fatalf("route %v", route)
+	}
+	for i := range want {
+		if route[i] != want[i] {
+			t.Fatalf("route %v, want %v", route, want)
+		}
+	}
+	if n.Route(5, 5) != nil {
+		t.Fatal("self route should be empty")
+	}
+}
+
+// TestRouteProperty: every hop flips exactly one bit and the route ends
+// at the destination.
+func TestRouteProperty(t *testing.T) {
+	n := New(DefaultConfig(16))
+	f := func(a, b uint8) bool {
+		src, dst := int(a%16), int(b%16)
+		route := n.Route(src, dst)
+		cur := src
+		for _, next := range route {
+			diff := cur ^ next
+			if diff == 0 || diff&(diff-1) != 0 {
+				return false
+			}
+			cur = next
+		}
+		return cur == dst && len(route) == n.Hops(src, dst)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyScalesWithHops(t *testing.T) {
+	n := New(DefaultConfig(16))
+	t1 := n.Send(0, 0, 1, 16)
+	n2 := New(DefaultConfig(16))
+	t2 := n2.Send(0, 0, 15, 16) // 4 hops
+	if t2 <= t1 {
+		t.Fatalf("4-hop (%d) should exceed 1-hop (%d)", t2, t1)
+	}
+}
+
+func TestContentionSerializesLink(t *testing.T) {
+	cfg := DefaultConfig(4)
+	n := New(cfg)
+	a1 := n.Send(0, 0, 1, 1024)
+	a2 := n.Send(0, 0, 1, 1024) // same link, same instant
+	if a2 <= a1 {
+		t.Fatalf("second message not delayed: %d vs %d", a2, a1)
+	}
+
+	cfg.ModelContention = false
+	m := New(cfg)
+	b1 := m.Send(0, 0, 1, 1024)
+	b2 := m.Send(0, 0, 1, 1024)
+	if b1 != b2 {
+		t.Fatalf("latency-only model must not contend: %d vs %d", b1, b2)
+	}
+}
+
+func TestSelfSendIsFree(t *testing.T) {
+	n := New(DefaultConfig(4))
+	if got := n.Send(100, 2, 2, 1024); got != 100 {
+		t.Fatalf("self send took %d", got-100)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := New(DefaultConfig(4))
+	n.Send(0, 0, 3, 64)
+	st := n.Stats()
+	if st.Messages != 1 || st.Bytes != 64 || st.Hops != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if len(n.LinkStats()) == 0 {
+		t.Fatal("no link stats")
+	}
+	n.Reset()
+	if n.Stats().Messages != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestNonPowerOfTwoRoundsUp(t *testing.T) {
+	n := New(DefaultConfig(12)) // embeds in a 16-node cube
+	if got := n.Hops(0, 11); got != 3 {
+		t.Fatalf("hops in partial cube: %d", got)
+	}
+}
+
+func TestLatencyOnly(t *testing.T) {
+	n := New(DefaultConfig(16))
+	lat := n.LatencyOnly(0, 3, 144)
+	if lat == 0 {
+		t.Fatal("zero latency")
+	}
+	if n.LatencyOnly(0, 15, 144) <= lat {
+		t.Fatal("latency must grow with distance")
+	}
+}
+
+func TestSerializationTimeGrowsWithSize(t *testing.T) {
+	mk := func() *Network { return New(DefaultConfig(4)) }
+	small := mk().Send(0, 0, 1, 16)
+	big := mk().Send(0, 0, 1, 4096)
+	if big <= small {
+		t.Fatalf("serialization: %d vs %d", big, small)
+	}
+	_ = sim.Ticks(0)
+}

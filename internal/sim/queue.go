@@ -1,0 +1,164 @@
+package sim
+
+// Event is a scheduled callback. Events fire in (At, Prio, Seq) order,
+// which makes simulations deterministic regardless of insertion order:
+// Seq is assigned monotonically by the queue at insertion.
+type Event struct {
+	At   Ticks
+	Prio int32 // lower fires first among equal times (e.g. node id)
+	Fn   func(now Ticks)
+
+	seq   uint64
+	index int // heap index, -1 when not queued
+}
+
+// Queue is a deterministic event queue (binary heap).
+type Queue struct {
+	heap    []*Event
+	nextSeq uint64
+	now     Ticks
+}
+
+// NewQueue returns an empty event queue at time zero.
+func NewQueue() *Queue { return &Queue{} }
+
+// Now returns the time of the most recently dispatched event.
+func (q *Queue) Now() Ticks { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Schedule enqueues fn to run at time at with priority prio. Scheduling
+// in the past (at < Now) is a programming error and panics: it would
+// silently break causality in the contention models.
+func (q *Queue) Schedule(at Ticks, prio int32, fn func(now Ticks)) *Event {
+	if at < q.now {
+		panic("sim: event scheduled in the past")
+	}
+	e := &Event{At: at, Prio: prio, Fn: fn, seq: q.nextSeq, index: -1}
+	q.nextSeq++
+	q.push(e)
+	return e
+}
+
+// Cancel removes a pending event. It is a no-op if the event already
+// fired or was cancelled.
+func (q *Queue) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	q.remove(e.index)
+	e.index = -1
+}
+
+// Reschedule moves a pending event to a new time (or re-inserts a fired
+// one).
+func (q *Queue) Reschedule(e *Event, at Ticks) {
+	if at < q.now {
+		panic("sim: event rescheduled into the past")
+	}
+	if e.index >= 0 {
+		q.remove(e.index)
+	}
+	e.At = at
+	e.seq = q.nextSeq
+	q.nextSeq++
+	q.push(e)
+}
+
+// Step dispatches the earliest event. It returns false when the queue is
+// empty.
+func (q *Queue) Step() bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	e := q.heap[0]
+	q.remove(0)
+	e.index = -1
+	q.now = e.At
+	e.Fn(e.At)
+	return true
+}
+
+// Run dispatches events until the queue is empty or until limit events
+// have fired (limit <= 0 means no limit). It returns the number of
+// events dispatched.
+func (q *Queue) Run(limit int) int {
+	n := 0
+	for limit <= 0 || n < limit {
+		if !q.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// less orders events by (At, Prio, seq).
+func less(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	if a.Prio != b.Prio {
+		return a.Prio < b.Prio
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) push(e *Event) {
+	e.index = len(q.heap)
+	q.heap = append(q.heap, e)
+	q.up(e.index)
+}
+
+func (q *Queue) remove(i int) {
+	n := len(q.heap) - 1
+	if i != n {
+		q.swap(i, n)
+		q.heap = q.heap[:n]
+		if !q.down(i) {
+			q.up(i)
+		}
+	} else {
+		q.heap = q.heap[:n]
+	}
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !less(q.heap[i], q.heap[parent]) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) bool {
+	moved := false
+	n := len(q.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && less(q.heap[r], q.heap[l]) {
+			m = r
+		}
+		if !less(q.heap[m], q.heap[i]) {
+			break
+		}
+		q.swap(i, m)
+		i = m
+		moved = true
+	}
+	return moved
+}

@@ -1,0 +1,200 @@
+package sim
+
+// The resource types below model contention by reservation: a request
+// arriving at time t for a busy resource is granted at the resource's
+// next free time. Reservations must be made in nondecreasing request
+// order for queueing delays to be exact; the machine run loop guarantees
+// this by dispatching all shared-resource activity through the event
+// queue. (A reservation arriving "in the past" relative to the
+// resource's horizon is still served FIFO at the horizon, which is the
+// standard approximation in reservation-based simulators.)
+
+// Server is a single-ported resource: one request at a time, each
+// occupying the server for a caller-supplied duration.
+//
+// Reservations are interval-based rather than horizon-based: a request
+// arriving at time t is scheduled into the earliest gap of sufficient
+// length at or after t. This matters because processors issue whole
+// transactions synchronously — a transaction whose issue time was
+// deferred far into the future (a full MSHR ladder) reserves resources
+// at that future time, and with a single next-free horizon one such
+// reservation would block every earlier request behind it, amplifying
+// queueing without bound. Gap backfill keeps service work-conserving
+// under the bounded causality skew of the run loop.
+type Server struct {
+	Name string
+
+	// busy holds reserved [start, end) intervals, sorted by start.
+	// Old intervals are pruned as the reservation frontier advances.
+	busy   []interval
+	busyT  Ticks  // total occupied time
+	uses   uint64 // number of reservations
+	waited Ticks  // total queueing delay imposed
+	maxQ   Ticks  // maximum single queueing delay
+}
+
+type interval struct{ start, end Ticks }
+
+// maxIntervals bounds the reservation bookkeeping; when exceeded the
+// oldest intervals are merged away (they are in the causal past).
+const maxIntervals = 48
+
+// schedule finds the earliest service start >= t for dur given the busy
+// list (without mutating).
+func (s *Server) schedule(t, dur Ticks) Ticks {
+	start := t
+	for _, iv := range s.busy {
+		if start+dur <= iv.start {
+			break
+		}
+		if start < iv.end {
+			start = iv.end
+		}
+	}
+	return start
+}
+
+// Acquire reserves the server at or after time t for dur. It returns the
+// start time of service (>= t) and the completion time.
+func (s *Server) Acquire(t, dur Ticks) (start, done Ticks) {
+	start = s.schedule(t, dur)
+	wait := start - t
+	s.waited += wait
+	if wait > s.maxQ {
+		s.maxQ = wait
+	}
+	done = start + dur
+	s.insert(interval{start, done})
+	s.busyT += dur
+	s.uses++
+	return start, done
+}
+
+// insert adds iv keeping the list sorted and bounded.
+func (s *Server) insert(iv interval) {
+	i := len(s.busy)
+	for i > 0 && s.busy[i-1].start > iv.start {
+		i--
+	}
+	s.busy = append(s.busy, interval{})
+	copy(s.busy[i+1:], s.busy[i:])
+	s.busy[i] = iv
+	if len(s.busy) > maxIntervals {
+		// Merge the two oldest intervals (pessimistically bridging
+		// the gap between them; they are in the causal past).
+		s.busy[1].start = s.busy[0].start
+		if s.busy[0].end > s.busy[1].end {
+			s.busy[1].end = s.busy[0].end
+		}
+		s.busy = s.busy[1:]
+	}
+}
+
+// Peek returns the earliest time a request arriving at t could begin
+// service, without reserving (assuming a zero-length probe).
+func (s *Server) Peek(t Ticks) Ticks { return s.schedule(t, 1) }
+
+// Reset clears reservation state and statistics.
+func (s *Server) Reset() { *s = Server{Name: s.Name} }
+
+// Stats describes accumulated utilization of a resource.
+type Stats struct {
+	Uses    uint64
+	Busy    Ticks
+	Waited  Ticks
+	MaxWait Ticks
+}
+
+// Stats returns the server's accumulated utilization counters.
+func (s *Server) Stats() Stats {
+	return Stats{Uses: s.uses, Busy: s.busyT, Waited: s.waited, MaxWait: s.maxQ}
+}
+
+// Utilization returns busy time as a fraction of the elapsed time span.
+func (s *Server) Utilization(span Ticks) float64 {
+	if span == 0 {
+		return 0
+	}
+	return float64(s.busyT) / float64(span)
+}
+
+// Pipe is a pipelined resource: a new request can start every II ticks
+// (initiation interval) but each takes Latency ticks to complete. A
+// Server is the special case II == Latency.
+type Pipe struct {
+	Name    string
+	II      Ticks
+	Latency Ticks
+
+	nextStart Ticks
+	uses      uint64
+	waited    Ticks
+}
+
+// Acquire reserves an issue slot at or after t. It returns the slot time
+// and the completion time (slot + Latency).
+func (p *Pipe) Acquire(t Ticks) (start, done Ticks) {
+	start = t
+	if p.nextStart > start {
+		start = p.nextStart
+	}
+	p.waited += start - t
+	p.nextStart = start + p.II
+	p.uses++
+	return start, start + p.Latency
+}
+
+// Reset clears reservation state.
+func (p *Pipe) Reset() { p.nextStart, p.uses, p.waited = 0, 0, 0 }
+
+// Stats returns the pipe's utilization counters.
+func (p *Pipe) Stats() Stats {
+	return Stats{Uses: p.uses, Busy: Ticks(p.uses) * p.II, Waited: p.waited}
+}
+
+// Banks is a set of independently contended servers addressed by an
+// interleaving function, modeling e.g. DRAM banks interleaved by cache
+// line.
+type Banks struct {
+	Name  string
+	banks []Server
+}
+
+// NewBanks creates n banks.
+func NewBanks(name string, n int) *Banks {
+	b := &Banks{Name: name, banks: make([]Server, n)}
+	for i := range b.banks {
+		b.banks[i].Name = name
+	}
+	return b
+}
+
+// N returns the number of banks.
+func (b *Banks) N() int { return len(b.banks) }
+
+// Acquire reserves bank (idx mod n) at or after t for dur.
+func (b *Banks) Acquire(idx uint64, t, dur Ticks) (start, done Ticks) {
+	return b.banks[idx%uint64(len(b.banks))].Acquire(t, dur)
+}
+
+// Reset clears all banks.
+func (b *Banks) Reset() {
+	for i := range b.banks {
+		b.banks[i].Reset()
+	}
+}
+
+// Stats sums utilization across banks.
+func (b *Banks) Stats() Stats {
+	var s Stats
+	for i := range b.banks {
+		bs := b.banks[i].Stats()
+		s.Uses += bs.Uses
+		s.Busy += bs.Busy
+		s.Waited += bs.Waited
+		if bs.MaxWait > s.MaxWait {
+			s.MaxWait = bs.MaxWait
+		}
+	}
+	return s
+}

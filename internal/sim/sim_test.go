@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNSConversion(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want Ticks
+	}{
+		{0, 0}, {50, 45}, {140, 126}, {1000, 900}, {10, 9},
+	}
+	for _, c := range cases {
+		if got := NS(c.ns); got != c.want {
+			t.Errorf("NS(%v) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+}
+
+func TestToNSRoundTrip(t *testing.T) {
+	for _, ns := range []float64{10, 50, 140, 1000, 12345} {
+		back := ToNS(NS(ns))
+		if back < ns-1.2 || back > ns+1.2 {
+			t.Errorf("round trip %v -> %v", ns, back)
+		}
+	}
+}
+
+func TestClockPeriods(t *testing.T) {
+	cases := []struct {
+		mhz    int
+		period Ticks
+	}{
+		{150, 6}, {225, 4}, {300, 3}, {75, 12}, {900, 1}, {450, 2},
+	}
+	for _, c := range cases {
+		clk := NewClock(c.mhz)
+		if clk.Period != c.period {
+			t.Errorf("clock %d MHz period = %d, want %d", c.mhz, clk.Period, c.period)
+		}
+	}
+}
+
+func TestClockRejectsNonDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for 133 MHz")
+		}
+	}()
+	NewClock(133)
+}
+
+func TestClockCycles(t *testing.T) {
+	if got := Clock150.Cycles(10); got != 60 {
+		t.Errorf("150MHz 10 cycles = %d ticks, want 60", got)
+	}
+	if got := Clock75.ToCycles(120); got != 10 {
+		t.Errorf("75MHz 120 ticks = %d cycles, want 10", got)
+	}
+}
+
+func TestClockAlign(t *testing.T) {
+	c := Clock150 // period 6
+	cases := []struct{ in, want Ticks }{{0, 0}, {1, 6}, {5, 6}, {6, 6}, {7, 12}}
+	for _, cse := range cases {
+		if got := c.Align(cse.in); got != cse.want {
+			t.Errorf("Align(%d) = %d, want %d", cse.in, got, cse.want)
+		}
+	}
+}
+
+func TestQueueFiresInTimeOrder(t *testing.T) {
+	q := NewQueue()
+	var fired []Ticks
+	for _, at := range []Ticks{50, 10, 30, 10, 20} {
+		at := at
+		q.Schedule(at, 0, func(now Ticks) { fired = append(fired, now) })
+	}
+	q.Run(0)
+	want := []Ticks{10, 10, 20, 30, 50}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestQueuePriorityBreaksTies(t *testing.T) {
+	q := NewQueue()
+	var order []int32
+	for _, p := range []int32{3, 1, 2} {
+		p := p
+		q.Schedule(100, p, func(Ticks) { order = append(order, p) })
+	}
+	q.Run(0)
+	if order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("tie order %v, want [1 2 3]", order)
+	}
+}
+
+func TestQueueSeqBreaksRemainingTies(t *testing.T) {
+	q := NewQueue()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Schedule(7, 0, func(Ticks) { order = append(order, i) })
+	}
+	q.Run(0)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("insertion order not preserved: %v", order)
+		}
+	}
+}
+
+func TestQueueRejectsPastEvents(t *testing.T) {
+	q := NewQueue()
+	q.Schedule(100, 0, func(Ticks) {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling into the past")
+		}
+	}()
+	q.Schedule(50, 0, func(Ticks) {})
+}
+
+func TestQueueCancel(t *testing.T) {
+	q := NewQueue()
+	fired := false
+	e := q.Schedule(10, 0, func(Ticks) { fired = true })
+	q.Cancel(e)
+	q.Run(0)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Cancelling twice is a no-op.
+	q.Cancel(e)
+}
+
+func TestQueueReschedule(t *testing.T) {
+	q := NewQueue()
+	var at Ticks
+	e := q.Schedule(10, 0, func(now Ticks) { at = now })
+	q.Reschedule(e, 99)
+	q.Run(0)
+	if at != 99 {
+		t.Fatalf("rescheduled event fired at %d, want 99", at)
+	}
+}
+
+func TestQueueSchedulingDuringDispatch(t *testing.T) {
+	q := NewQueue()
+	var fired []Ticks
+	q.Schedule(1, 0, func(now Ticks) {
+		fired = append(fired, now)
+		q.Schedule(now+5, 0, func(n2 Ticks) { fired = append(fired, n2) })
+	})
+	q.Run(0)
+	if len(fired) != 2 || fired[1] != 6 {
+		t.Fatalf("chained scheduling: %v", fired)
+	}
+}
+
+// TestQueueOrderProperty: random schedules always dispatch in
+// nondecreasing time order.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		q := NewQueue()
+		var fired []Ticks
+		for _, x := range times {
+			q.Schedule(Ticks(x), 0, func(now Ticks) { fired = append(fired, now) })
+		}
+		q.Run(0)
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerSerializes(t *testing.T) {
+	var s Server
+	_, d1 := s.Acquire(0, 10)
+	if d1 != 10 {
+		t.Fatalf("first acquire done = %d", d1)
+	}
+	start2, d2 := s.Acquire(5, 10)
+	if start2 != 10 || d2 != 20 {
+		t.Fatalf("second acquire = (%d,%d), want (10,20)", start2, d2)
+	}
+}
+
+func TestServerBackfillsGaps(t *testing.T) {
+	var s Server
+	// Far-future reservation must not block an earlier request.
+	s.Acquire(1000, 50)
+	start, done := s.Acquire(10, 20)
+	if start != 10 || done != 30 {
+		t.Fatalf("early request blocked by future reservation: (%d,%d)", start, done)
+	}
+	// But a request that does not fit the gap is pushed past it.
+	start, _ = s.Acquire(995, 50)
+	if start < 1050 {
+		t.Fatalf("overlapping request not serialized: start=%d", start)
+	}
+}
+
+// TestServerNoOverlapProperty: random acquires never overlap in service
+// time.
+func TestServerNoOverlapProperty(t *testing.T) {
+	f := func(reqs []struct {
+		T   uint16
+		Dur uint8
+	}) bool {
+		var s Server
+		type iv struct{ a, b Ticks }
+		var ivs []iv
+		for _, r := range reqs {
+			dur := Ticks(r.Dur%32) + 1
+			start, done := s.Acquire(Ticks(r.T), dur)
+			if start < Ticks(r.T) || done != start+dur {
+				return false
+			}
+			ivs = append(ivs, iv{start, done})
+		}
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].a < ivs[j].b && ivs[j].a < ivs[i].b {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	var s Server
+	s.Acquire(0, 10)
+	s.Acquire(0, 10)
+	st := s.Stats()
+	if st.Uses != 2 || st.Busy != 20 || st.Waited != 10 || st.MaxWait != 10 {
+		t.Fatalf("stats %+v", st)
+	}
+	if u := s.Utilization(40); u != 0.5 {
+		t.Fatalf("utilization = %f", u)
+	}
+}
+
+func TestServerPeek(t *testing.T) {
+	var s Server
+	s.Acquire(10, 10)
+	if got := s.Peek(15); got != 20 {
+		t.Fatalf("peek inside busy = %d, want 20", got)
+	}
+	if got := s.Peek(30); got != 30 {
+		t.Fatalf("peek after busy = %d, want 30", got)
+	}
+	if st := s.Stats(); st.Uses != 1 {
+		t.Fatal("peek must not reserve")
+	}
+}
+
+func TestServerIntervalPruning(t *testing.T) {
+	var s Server
+	for i := 0; i < maxIntervals*4; i++ {
+		s.Acquire(Ticks(i*100), 10)
+	}
+	if len(s.busy) > maxIntervals {
+		t.Fatalf("interval list grew to %d", len(s.busy))
+	}
+}
+
+func TestPipeInitiationInterval(t *testing.T) {
+	p := Pipe{II: 2, Latency: 10}
+	s1, d1 := p.Acquire(0)
+	s2, d2 := p.Acquire(0)
+	if s1 != 0 || d1 != 10 || s2 != 2 || d2 != 12 {
+		t.Fatalf("pipe: (%d,%d) (%d,%d)", s1, d1, s2, d2)
+	}
+}
+
+func TestBanksIndependentContention(t *testing.T) {
+	b := NewBanks("m", 2)
+	_, d0 := b.Acquire(0, 0, 10)
+	_, d1 := b.Acquire(1, 0, 10)
+	_, d2 := b.Acquire(2, 0, 10) // same bank as 0
+	if d0 != 10 || d1 != 10 {
+		t.Fatalf("different banks should not contend: %d %d", d0, d1)
+	}
+	if d2 != 20 {
+		t.Fatalf("same bank should serialize: %d", d2)
+	}
+	if b.N() != 2 {
+		t.Fatal("bank count")
+	}
+}
+
+func TestBanksReset(t *testing.T) {
+	b := NewBanks("m", 2)
+	b.Acquire(0, 0, 10)
+	b.Reset()
+	if st := b.Stats(); st.Uses != 0 {
+		t.Fatalf("reset did not clear stats: %+v", st)
+	}
+	_, d := b.Acquire(0, 0, 10)
+	if d != 10 {
+		t.Fatal("reset did not clear reservations")
+	}
+}
