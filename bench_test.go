@@ -7,6 +7,7 @@ package flashsim_test
 // numbers recorded in EXPERIMENTS.md.
 
 import (
+	"runtime"
 	"testing"
 
 	"flashsim/internal/apps"
@@ -15,6 +16,7 @@ import (
 	"flashsim/internal/harness"
 	"flashsim/internal/hw"
 	"flashsim/internal/machine"
+	"flashsim/internal/runner"
 	"flashsim/internal/snbench"
 )
 
@@ -123,6 +125,29 @@ func BenchmarkExperimentDefects(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkRunnerSpeedup runs the Figure-1 sweep serially and through a
+// pool of GOMAXPROCS workers and reports the wall-clock speedup. On a
+// uniprocessor host this hovers near 1.0x; on a 4+ core machine it
+// should be well above 2x.
+func BenchmarkRunnerSpeedup(b *testing.B) {
+	sweep := func(pool *runner.Pool) {
+		b.Helper()
+		s := harness.NewSessionWithPool(harness.ScaleQuick, pool)
+		if _, _, err := s.Figure1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		serial := runner.Serial()
+		sweep(serial)
+		par := runner.New(runtime.GOMAXPROCS(0), nil)
+		sweep(par)
+		speedup = serial.Stats().Wall.Seconds() / par.Stats().Wall.Seconds()
+	}
+	b.ReportMetric(speedup, "speedup")
 }
 
 // --- Ablations and substrate benchmarks -----------------------------

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -22,6 +23,7 @@ import (
 	"flashsim/internal/hw"
 	"flashsim/internal/machine"
 	"flashsim/internal/proto"
+	"flashsim/internal/runner"
 	"flashsim/internal/sim"
 )
 
@@ -38,6 +40,7 @@ func main() {
 		tlbBlk   = flag.Bool("tlb-blocked", true, "FFT transpose blocked for the TLB")
 		seed     = flag.Uint64("seed", 1, "jitter/branch seed")
 		fullSize = flag.Bool("full", true, "full (1/16-paper) problem sizes")
+		cacheDir = flag.String("cache-dir", "", "persist memoized run results in this directory")
 	)
 	flag.Parse()
 
@@ -89,12 +92,22 @@ func main() {
 		log.Fatalf("unknown workload %q", *app)
 	}
 
+	store, err := runner.NewStore(*cacheDir)
+	if err != nil {
+		log.Fatalf("cache: %v", err)
+	}
+	pool := runner.New(1, store)
+
 	t0 := time.Now()
-	res, err := machine.Run(cfg, prog)
+	results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Prog: prog}})
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := results[0]
 	wall := time.Since(t0)
+	if st := pool.Stats(); st.CacheHits > 0 {
+		fmt.Printf("[memoized: result served from %s]\n", store.Dir())
+	}
 
 	fmt.Printf("%s on %s, %d processor(s)\n", prog.FullName(), cfg.Name, *procs)
 	fmt.Printf("  parallel section: %.3f ms simulated\n", res.ExecSeconds()*1e3)

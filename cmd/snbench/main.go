@@ -15,23 +15,35 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"flashsim/internal/core"
 	"flashsim/internal/machine"
 	"flashsim/internal/proto"
+	"flashsim/internal/runner"
 	"flashsim/internal/snbench"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		simName = flag.String("sim", "", "simulator to compare: simos-mipsy, simos-mxs, solo-mipsy")
-		mhz     = flag.Int("mhz", 150, "simulator clock (150, 225, 300)")
-		tuned   = flag.Bool("tuned", false, "calibrate the simulator before measuring")
+		simName  = flag.String("sim", "", "simulator to compare: simos-mipsy, simos-mxs, solo-mipsy")
+		mhz      = flag.Int("mhz", 150, "simulator clock (150, 225, 300)")
+		tuned    = flag.Bool("tuned", false, "calibrate the simulator before measuring")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel")
+		cacheDir = flag.String("cache-dir", "", "persist memoized run results in this directory")
 	)
 	flag.Parse()
 
+	store, err := runner.NewStore(*cacheDir)
+	if err != nil {
+		log.Fatalf("cache: %v", err)
+	}
+	pool := runner.New(*jobs, store)
+	defer func() { fmt.Printf("[runner: %s]\n", pool.Stats()) }()
+
 	ref := core.NewReference(4, true)
+	ref.Pool = pool
 	cal := core.NewCalibrator(ref)
 
 	fmt.Println("Dependent loads (ns per load):")
@@ -75,7 +87,7 @@ func main() {
 	for _, pc := range cases {
 		fmt.Printf("  %-22s hw %6.0f", pc, hwLat[pc])
 		if simCfg != nil {
-			simNS, err := core.SimDepLatency(*simCfg, pc)
+			simNS, err := cal.SimDepLatency(*simCfg, pc)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -91,7 +103,7 @@ func main() {
 	hwTLB := snbench.TLBHandlerCycles(hwMeas.Runs[0], ref.ConfigAt(1).ClockMHz, 0, 0, 0)
 	fmt.Printf("TLB refill: hw %.1f cycles", hwTLB)
 	if simCfg != nil {
-		simTLB, err := core.SimTLBCycles(*simCfg)
+		simTLB, err := cal.SimTLBCycles(*simCfg)
 		if err != nil {
 			log.Fatal(err)
 		}

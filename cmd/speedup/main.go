@@ -7,7 +7,7 @@
 //	speedup -figure 5
 //	speedup -figure 6
 //	speedup -figure 7
-//	speedup -all [-quick]
+//	speedup -all [-quick] [-jobs 8] [-cache-dir .flashcache]
 package main
 
 import (
@@ -15,17 +15,21 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"flashsim/internal/harness"
+	"flashsim/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		all    = flag.Bool("all", false, "run figures 5, 6, and 7")
-		figure = flag.Int("figure", 0, "run figure 5, 6, or 7")
-		quick  = flag.Bool("quick", false, "use reduced problem sizes")
+		all      = flag.Bool("all", false, "run figures 5, 6, and 7")
+		figure   = flag.Int("figure", 0, "run figure 5, 6, or 7")
+		quick    = flag.Bool("quick", false, "use reduced problem sizes")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel")
+		cacheDir = flag.String("cache-dir", "", "persist memoized run results in this directory")
 	)
 	flag.Parse()
 
@@ -33,7 +37,13 @@ func main() {
 	if *quick {
 		scale = harness.ScaleQuick
 	}
-	s := harness.NewSession(scale)
+	store, err := runner.NewStore(*cacheDir)
+	if err != nil {
+		log.Fatalf("cache: %v", err)
+	}
+	pool := runner.New(*jobs, store)
+	s := harness.NewSessionWithPool(scale, pool)
+	defer func() { fmt.Printf("[runner: %s]\n", pool.Stats()) }()
 
 	ran := false
 	runFig := func(n int, f func() (string, error)) {

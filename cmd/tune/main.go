@@ -13,17 +13,21 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"flashsim/internal/core"
 	"flashsim/internal/machine"
 	"flashsim/internal/proto"
+	"flashsim/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		simName = flag.String("sim", "simos-mipsy", "simos-mipsy, simos-mxs, solo-mipsy")
-		mhz     = flag.Int("mhz", 150, "Mipsy clock (150, 225, 300)")
+		simName  = flag.String("sim", "simos-mipsy", "simos-mipsy, simos-mxs, solo-mipsy")
+		mhz      = flag.Int("mhz", 150, "Mipsy clock (150, 225, 300)")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel")
+		cacheDir = flag.String("cache-dir", "", "persist memoized run results in this directory")
 	)
 	flag.Parse()
 
@@ -39,7 +43,15 @@ func main() {
 		log.Fatalf("unknown simulator %q", *simName)
 	}
 
+	store, err := runner.NewStore(*cacheDir)
+	if err != nil {
+		log.Fatalf("cache: %v", err)
+	}
+	pool := runner.New(*jobs, store)
+	defer func() { fmt.Printf("[runner: %s]\n", pool.Stats()) }()
+
 	ref := core.NewReference(4, true)
+	ref.Pool = pool
 	cal := core.NewCalibrator(ref)
 	fmt.Printf("calibrating %s against the hardware reference...\n", cfg.Name)
 	c, err := cal.Calibrate(cfg)
@@ -62,11 +74,11 @@ func main() {
 		proto.LocalClean, proto.LocalDirtyRemote, proto.RemoteClean,
 		proto.RemoteDirtyHome, proto.RemoteDirtyRemote,
 	} {
-		u, err := core.SimDepLatency(cfg, pc)
+		u, err := cal.SimDepLatency(cfg, pc)
 		if err != nil {
 			log.Fatal(err)
 		}
-		tn, err := core.SimDepLatency(tuned, pc)
+		tn, err := cal.SimDepLatency(tuned, pc)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 //	validate -figure 2       # one figure
 //	validate -experiment tlb # tlb | blocking | muldiv | defects
 //	validate -quick          # reduced problem sizes
+//	validate -all -jobs 8 -cache-dir .flashcache
 package main
 
 import (
@@ -16,9 +17,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"flashsim/internal/harness"
+	"flashsim/internal/runner"
 )
 
 func main() {
@@ -29,6 +32,8 @@ func main() {
 		figure     = flag.Int("figure", 0, "run figure 1-4")
 		experiment = flag.String("experiment", "", "run an in-text experiment: tlb, blocking, muldiv, defects")
 		quick      = flag.Bool("quick", false, "use reduced problem sizes")
+		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel")
+		cacheDir   = flag.String("cache-dir", "", "persist memoized run results in this directory")
 	)
 	flag.Parse()
 
@@ -36,7 +41,13 @@ func main() {
 	if *quick {
 		scale = harness.ScaleQuick
 	}
-	s := harness.NewSession(scale)
+	store, err := runner.NewStore(*cacheDir)
+	if err != nil {
+		log.Fatalf("cache: %v", err)
+	}
+	pool := runner.New(*jobs, store)
+	s := harness.NewSessionWithPool(scale, pool)
+	defer func() { fmt.Printf("[runner: %s]\n", pool.Stats()) }()
 
 	ran := false
 	timed := func(name string, f func() (string, error)) {

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
 	"flashsim/internal/memsys"
 	"flashsim/internal/proto"
+	"flashsim/internal/runner"
 	"flashsim/internal/snbench"
 )
 
@@ -69,11 +72,36 @@ type Calibrator struct {
 	MaxRounds int
 	// TolNS is the dependent-load convergence tolerance (default 20ns).
 	TolNS float64
+
+	// Pool executes the probe runs; nil falls back to the Reference's
+	// pool. The fitting loops are inherently sequential, but a pool
+	// with a store memoizes the hardware microbenchmarks and every
+	// probe, which pays off across the seven study configurations.
+	Pool *runner.Pool
 }
 
 // NewCalibrator returns a calibrator against ref.
 func NewCalibrator(ref *Reference) *Calibrator {
 	return &Calibrator{Ref: ref, MaxRounds: 6, TolNS: 20}
+}
+
+func (c *Calibrator) pool() *runner.Pool {
+	if c.Pool != nil {
+		return c.Pool
+	}
+	return c.Ref.pool()
+}
+
+// runOne executes a single probe run through a pool (nil = serial).
+func runOne(p *runner.Pool, cfg machine.Config, prog emitter.Program) (machine.Result, error) {
+	if p == nil {
+		p = runner.Serial()
+	}
+	results, err := p.Run(context.Background(), []runner.Job{{Config: cfg, Prog: prog}})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	return results[0], nil
 }
 
 // hwTLBCycles measures the reference TLB-refill cost.
@@ -88,9 +116,9 @@ func (c *Calibrator) hwTLBCycles() (float64, error) {
 }
 
 // simTLBCycles measures a simulator's TLB-refill cost.
-func simTLBCycles(cfg machine.Config) (float64, error) {
+func simTLBCycles(p *runner.Pool, cfg machine.Config) (float64, error) {
 	cfg.Procs = 1
-	res, err := machine.Run(cfg, snbench.TLBTimer(0, 0, 0))
+	res, err := runOne(p, cfg, snbench.TLBTimer(0, 0, 0))
 	if err != nil {
 		return 0, err
 	}
@@ -106,9 +134,9 @@ func (c *Calibrator) hwRestartNS() (float64, error) {
 	return snbench.ThroughputNSPerLoad(meas.Runs[0], 0), nil
 }
 
-func simRestartNS(cfg machine.Config) (float64, error) {
+func simRestartNS(p *runner.Pool, cfg machine.Config) (float64, error) {
 	cfg.Procs = 1
-	res, err := machine.Run(cfg, snbench.Restart(0))
+	res, err := runOne(p, cfg, snbench.Restart(0))
 	if err != nil {
 		return 0, err
 	}
@@ -125,23 +153,35 @@ var depCases = []proto.Case{
 }
 
 // DependentLoadLatencies measures all five Table 3 cases on the
-// reference (ns per load).
+// reference (ns per load), batching every case's repeats through the
+// pool.
 func (c *Calibrator) DependentLoadLatencies() (map[proto.Case]float64, error) {
+	var jobs []runner.Job
+	offs := make([]int, len(depCases))
+	for i, pc := range depCases {
+		offs[i] = len(jobs)
+		jobs = append(jobs, c.Ref.measureJobs(snbench.DependentLoads(pc, 0), snbench.CaseProcs(pc))...)
+	}
+	results, err := c.pool().Run(context.Background(), jobs)
+	if err != nil {
+		return nil, fmt.Errorf("dependent loads: %w", err)
+	}
 	out := make(map[proto.Case]float64, len(depCases))
-	for _, pc := range depCases {
-		meas, err := c.Ref.MeasureAt(snbench.DependentLoads(pc, 0), snbench.CaseProcs(pc))
-		if err != nil {
-			return nil, err
+	for i, pc := range depCases {
+		end := len(results)
+		if i+1 < len(depCases) {
+			end = offs[i+1]
 		}
+		meas := measurementFrom(results[offs[i]:end])
 		out[pc] = snbench.LoadLatencyNS(pc, machine.Result{Exec: meas.Mean, BarrierReleases: meas.Runs[0].BarrierReleases}, 0)
 	}
 	return out, nil
 }
 
 // simDepLatency measures one dependent-load case on a simulator.
-func simDepLatency(cfg machine.Config, pc proto.Case) (float64, error) {
+func simDepLatency(p *runner.Pool, cfg machine.Config, pc proto.Case) (float64, error) {
 	cfg.Procs = snbench.CaseProcs(pc)
-	res, err := machine.Run(cfg, snbench.DependentLoads(pc, 0))
+	res, err := runOne(p, cfg, snbench.DependentLoads(pc, 0))
 	if err != nil {
 		return 0, err
 	}
@@ -156,6 +196,7 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 	if maxRounds <= 0 {
 		maxRounds = 6
 	}
+	pool := c.pool()
 	cal := Calibration{
 		TLBHandlerCycles: cfg.OS.TLBHandlerCycles,
 		L2TransferNS:     cfg.L2TransferNS,
@@ -171,7 +212,7 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 			return cal, err
 		}
 		before := float64(cal.TLBHandlerCycles)
-		simBefore, err := simTLBCycles(applyTLB(cfg, cal.TLBHandlerCycles))
+		simBefore, err := simTLBCycles(pool, applyTLB(cfg, cal.TLBHandlerCycles))
 		if err != nil {
 			return cal, err
 		}
@@ -182,7 +223,7 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 				next = 1
 			}
 			cal.TLBHandlerCycles = uint32(next + 0.5)
-			simC, err = simTLBCycles(applyTLB(cfg, cal.TLBHandlerCycles))
+			simC, err = simTLBCycles(pool, applyTLB(cfg, cal.TLBHandlerCycles))
 			if err != nil {
 				return cal, err
 			}
@@ -202,7 +243,7 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 		}
 		probe := cal.Apply(cfg)
 		probe.ModelL2InterfaceOccupancy = false
-		simBefore, err := simRestartNS(probe)
+		simBefore, err := simRestartNS(pool, probe)
 		if err != nil {
 			return cal, err
 		}
@@ -211,7 +252,7 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 			cal.L2Occupancy = true
 			for round := 0; round < maxRounds && math.Abs(hwT-simT) > 3; round++ {
 				probe = cal.Apply(cfg)
-				simT, err = simRestartNS(probe)
+				simT, err = simRestartNS(pool, probe)
 				if err != nil {
 					return cal, err
 				}
@@ -241,15 +282,15 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 		var simLC, simRC, simLDR float64
 		for round := 0; round < maxRounds; round++ {
 			probe := cal.Apply(cfg)
-			simLC, err = simDepLatency(probe, proto.LocalClean)
+			simLC, err = simDepLatency(pool, probe, proto.LocalClean)
 			if err != nil {
 				return cal, err
 			}
-			simRC, err = simDepLatency(probe, proto.RemoteClean)
+			simRC, err = simDepLatency(pool, probe, proto.RemoteClean)
 			if err != nil {
 				return cal, err
 			}
-			simLDR, err = simDepLatency(probe, proto.LocalDirtyRemote)
+			simLDR, err = simDepLatency(pool, probe, proto.LocalDirtyRemote)
 			if err != nil {
 				return cal, err
 			}
@@ -297,11 +338,22 @@ func applyTLB(cfg machine.Config, cycles uint32) machine.Config {
 
 // SimTLBCycles measures a simulator configuration's TLB-refill cost via
 // the snbench TLB timer (exported for the harness's in-text
-// experiments).
-func SimTLBCycles(cfg machine.Config) (float64, error) { return simTLBCycles(cfg) }
+// experiments). The serial variant of (*Calibrator).SimTLBCycles.
+func SimTLBCycles(cfg machine.Config) (float64, error) { return simTLBCycles(nil, cfg) }
+
+// SimTLBCycles is SimTLBCycles through the calibrator's pool, so the
+// probe is memoized alongside the tuning runs.
+func (c *Calibrator) SimTLBCycles(cfg machine.Config) (float64, error) {
+	return simTLBCycles(c.pool(), cfg)
+}
 
 // SimDepLatency measures one Table 3 dependent-load case on a simulator
 // configuration (ns per load).
 func SimDepLatency(cfg machine.Config, pc proto.Case) (float64, error) {
-	return simDepLatency(cfg, pc)
+	return simDepLatency(nil, cfg, pc)
+}
+
+// SimDepLatency is SimDepLatency through the calibrator's pool.
+func (c *Calibrator) SimDepLatency(cfg machine.Config, pc proto.Case) (float64, error) {
+	return simDepLatency(c.pool(), cfg, pc)
 }

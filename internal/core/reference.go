@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"flashsim/internal/emitter"
 	"flashsim/internal/hw"
 	"flashsim/internal/machine"
+	"flashsim/internal/runner"
 	"flashsim/internal/sim"
+	"flashsim/internal/stats"
 )
 
 // Workload names a program parameterized only by processor count, so
@@ -29,6 +32,20 @@ type Measurement struct {
 // MeanSeconds returns the mean parallel-section time in seconds.
 func (m Measurement) MeanSeconds() float64 { return float64(m.Mean) / sim.TickHz }
 
+// measurementFrom summarizes a set of repeat runs.
+func measurementFrom(runs []machine.Result) Measurement {
+	execs := make([]sim.Ticks, len(runs))
+	for i, r := range runs {
+		execs[i] = r.Exec
+	}
+	return Measurement{
+		Mean: stats.Mean(execs),
+		Min:  stats.Min(execs),
+		Max:  stats.Max(execs),
+		Runs: runs,
+	}
+}
+
 // Reference is the hardware gold standard: the maximum-fidelity machine
 // measured with run-to-run jitter and averaging, exposed the way a real
 // machine would be — you can run programs on it and read wall times, but
@@ -38,6 +55,12 @@ type Reference struct {
 	// default 5, per the methodology).
 	Repeats int
 
+	// Pool executes the repeat runs; nil selects a serial pool,
+	// preserving the strictly sequential behavior. Sharing one pool
+	// (with a store) across the Reference, Study, Calibrator, and
+	// TrendAnalyzer of a session lets every consumer reuse every run.
+	Pool *runner.Pool
+
 	base machine.Config
 }
 
@@ -45,6 +68,14 @@ type Reference struct {
 // scaled selects the 1/16-scale cache geometry (see EXPERIMENTS.md).
 func NewReference(procs int, scaled bool) *Reference {
 	return &Reference{Repeats: 5, base: hw.Config(procs, scaled)}
+}
+
+// pool returns the configured pool or a serial fallback.
+func (r *Reference) pool() *runner.Pool {
+	if r.Pool != nil {
+		return r.Pool
+	}
+	return runner.Serial()
 }
 
 // Procs returns the machine size.
@@ -61,6 +92,22 @@ func (r *Reference) ConfigAt(procs int) machine.Config {
 	return cfg
 }
 
+// measureJobs returns the Repeats jobs of one measurement: the same
+// program on the same machine with distinct seeds, exactly the batch
+// MeasureAt averages. Exposed (package-internally) so Study and
+// Calibrator can splice reference measurements into larger batches.
+func (r *Reference) measureJobs(prog emitter.Program, procs int) []runner.Job {
+	n := r.Repeats
+	if n < 1 {
+		n = 1
+	}
+	jobs := make([]runner.Job, n)
+	for i := range jobs {
+		jobs[i] = runner.Job{Config: r.ConfigAt(procs), Prog: prog, Seed: uint64(i + 1)}
+	}
+	return jobs
+}
+
 // Measure runs prog on the hardware Repeats times with distinct seeds
 // and returns the averaged measurement.
 func (r *Reference) Measure(prog emitter.Program) (Measurement, error) {
@@ -69,28 +116,9 @@ func (r *Reference) Measure(prog emitter.Program) (Measurement, error) {
 
 // MeasureAt is Measure on a machine resized to procs processors.
 func (r *Reference) MeasureAt(prog emitter.Program, procs int) (Measurement, error) {
-	n := r.Repeats
-	if n < 1 {
-		n = 1
+	runs, err := r.pool().Run(context.Background(), r.measureJobs(prog, procs))
+	if err != nil {
+		return Measurement{}, fmt.Errorf("reference: %w", err)
 	}
-	m := Measurement{Min: sim.Forever}
-	var sum sim.Ticks
-	for i := 0; i < n; i++ {
-		cfg := r.ConfigAt(procs)
-		cfg.Seed = uint64(i + 1)
-		res, err := machine.Run(cfg, prog)
-		if err != nil {
-			return Measurement{}, fmt.Errorf("reference run %d: %w", i, err)
-		}
-		m.Runs = append(m.Runs, res)
-		sum += res.Exec
-		if res.Exec < m.Min {
-			m.Min = res.Exec
-		}
-		if res.Exec > m.Max {
-			m.Max = res.Exec
-		}
-	}
-	m.Mean = sum / sim.Ticks(n)
-	return m, nil
+	return measurementFrom(runs), nil
 }

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"flashsim/internal/machine"
+	"flashsim/internal/runner"
 	"flashsim/internal/sim"
+	"flashsim/internal/stats"
 )
 
 // RelEntry is one bar of Figures 1–4: a simulator's predicted execution
@@ -44,7 +47,7 @@ func (c CompareResult) MaxAbsError() float64 {
 	worst := 0.0
 	for _, row := range c.Rows {
 		for _, e := range row {
-			if d := abs(e.Relative - 1); d > worst {
+			if d := stats.RelError(e.Relative, 1); d > worst {
 				worst = d
 			}
 		}
@@ -52,18 +55,15 @@ func (c CompareResult) MaxAbsError() float64 {
 	return worst
 }
 
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
-
 // Study compares a set of simulator configurations against the hardware
 // reference.
 type Study struct {
 	Ref     *Reference
 	Configs []machine.Config
+
+	// Pool executes the sweep; nil falls back to the Reference's pool
+	// (and ultimately to serial execution).
+	Pool *runner.Pool
 }
 
 // NewStudy builds a study over the given simulator configurations.
@@ -71,9 +71,20 @@ func NewStudy(ref *Reference, configs ...machine.Config) *Study {
 	return &Study{Ref: ref, Configs: configs}
 }
 
+// pool returns the study's pool, the reference's, or a serial fallback.
+func (s *Study) pool() *runner.Pool {
+	if s.Pool != nil {
+		return s.Pool
+	}
+	return s.Ref.pool()
+}
+
 // Compare runs every workload on the hardware (averaged) and on every
 // simulator (once: simulators are deterministic) at the given processor
-// count, and returns the relative execution times.
+// count, and returns the relative execution times. The whole sweep —
+// hardware repeats and simulator runs for all workloads — is submitted
+// as one batch, so a parallel pool overlaps everything; results are
+// identical to serial execution regardless of worker count.
 func (s *Study) Compare(workloads []Workload, procs int) (CompareResult, error) {
 	out := CompareResult{
 		Procs: procs,
@@ -83,19 +94,31 @@ func (s *Study) Compare(workloads []Workload, procs int) (CompareResult, error) 
 	for _, cfg := range s.Configs {
 		out.Configs = append(out.Configs, cfg.Name)
 	}
-	for _, w := range workloads {
+
+	var jobs []runner.Job
+	hwOff := make([]int, len(workloads))  // offset of each workload's hardware repeats
+	simOff := make([]int, len(workloads)) // offset of each workload's simulator runs
+	for wi, w := range workloads {
 		out.Order = append(out.Order, w.Name)
-		hwMeas, err := s.Ref.MeasureAt(w.Make(procs), procs)
-		if err != nil {
-			return out, fmt.Errorf("hardware %s: %w", w.Name, err)
-		}
-		out.HW[w.Name] = hwMeas
+		prog := w.Make(procs)
+		hwOff[wi] = len(jobs)
+		jobs = append(jobs, s.Ref.measureJobs(prog, procs)...)
+		simOff[wi] = len(jobs)
 		for _, cfg := range s.Configs {
 			cfg.Procs = procs
-			res, err := machine.Run(cfg, w.Make(procs))
-			if err != nil {
-				return out, fmt.Errorf("%s on %s: %w", w.Name, cfg.Name, err)
-			}
+			jobs = append(jobs, runner.Job{Config: cfg, Prog: prog})
+		}
+	}
+	results, err := s.pool().Run(context.Background(), jobs)
+	if err != nil {
+		return out, fmt.Errorf("study at %dp: %w", procs, err)
+	}
+
+	for wi, w := range workloads {
+		hwMeas := measurementFrom(results[hwOff[wi]:simOff[wi]])
+		out.HW[w.Name] = hwMeas
+		for ci, cfg := range s.Configs {
+			res := results[simOff[wi]+ci]
 			out.Rows[w.Name] = append(out.Rows[w.Name], RelEntry{
 				Workload: w.Name,
 				Config:   cfg.Name,

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"flashsim/internal/machine"
+	"flashsim/internal/runner"
 	"flashsim/internal/sim"
+	"flashsim/internal/stats"
 )
 
 // Curve is one speedup line of Figures 5–7: execution time at each
@@ -32,6 +35,9 @@ func (c Curve) At(p int) float64 {
 // changes across a variety of alternative designs."
 type TrendAnalyzer struct {
 	Ref *Reference
+
+	// Pool executes the sweeps; nil falls back to the Reference's pool.
+	Pool *runner.Pool
 }
 
 // NewTrendAnalyzer returns an analyzer against ref.
@@ -39,16 +45,35 @@ func NewTrendAnalyzer(ref *Reference) *TrendAnalyzer {
 	return &TrendAnalyzer{Ref: ref}
 }
 
+func (t *TrendAnalyzer) pool() *runner.Pool {
+	if t.Pool != nil {
+		return t.Pool
+	}
+	return t.Ref.pool()
+}
+
 // HardwareSpeedup measures the reference's speedup curve for w over the
-// given processor counts.
+// given processor counts. All points (and their jitter repeats) run as
+// one batch.
 func (t *TrendAnalyzer) HardwareSpeedup(w Workload, procs []int) (Curve, error) {
 	c := Curve{Label: "FLASH 150MHz", Procs: procs}
-	var base sim.Ticks
+	var jobs []runner.Job
+	offs := make([]int, len(procs))
 	for i, p := range procs {
-		meas, err := t.Ref.MeasureAt(w.Make(p), p)
-		if err != nil {
-			return c, fmt.Errorf("hardware %s at %dp: %w", w.Name, p, err)
+		offs[i] = len(jobs)
+		jobs = append(jobs, t.Ref.measureJobs(w.Make(p), p)...)
+	}
+	results, err := t.pool().Run(context.Background(), jobs)
+	if err != nil {
+		return c, fmt.Errorf("hardware %s sweep: %w", w.Name, err)
+	}
+	var base sim.Ticks
+	for i := range procs {
+		end := len(results)
+		if i+1 < len(procs) {
+			end = offs[i+1]
 		}
+		meas := measurementFrom(results[offs[i]:end])
 		c.Exec = append(c.Exec, meas.Mean)
 		if i == 0 {
 			base = meas.Mean
@@ -58,17 +83,22 @@ func (t *TrendAnalyzer) HardwareSpeedup(w Workload, procs []int) (Curve, error) 
 	return c, nil
 }
 
-// SimSpeedup measures a simulator's predicted speedup curve.
+// SimSpeedup measures a simulator's predicted speedup curve; the whole
+// processor sweep runs as one batch.
 func (t *TrendAnalyzer) SimSpeedup(cfg machine.Config, w Workload, procs []int) (Curve, error) {
 	c := Curve{Label: cfg.Name, Procs: procs}
-	var base sim.Ticks
+	jobs := make([]runner.Job, len(procs))
 	for i, p := range procs {
 		cp := cfg
 		cp.Procs = p
-		res, err := machine.Run(cp, w.Make(p))
-		if err != nil {
-			return c, fmt.Errorf("%s %s at %dp: %w", cfg.Name, w.Name, p, err)
-		}
+		jobs[i] = runner.Job{Config: cp, Prog: w.Make(p)}
+	}
+	results, err := t.pool().Run(context.Background(), jobs)
+	if err != nil {
+		return c, fmt.Errorf("%s %s sweep: %w", cfg.Name, w.Name, err)
+	}
+	var base sim.Ticks
+	for i, res := range results {
 		c.Exec = append(c.Exec, res.Exec)
 		if i == 0 {
 			base = res.Exec
@@ -103,21 +133,16 @@ type TrendError struct {
 // share proc points).
 func CompareTrend(hw, simc Curve) TrendError {
 	te := TrendError{Label: simc.Label}
-	n := 0
+	var errs []float64
 	for i := range hw.Procs {
 		if i >= len(simc.Speedup) || hw.Speedup[i] == 0 {
 			continue
 		}
-		e := abs(simc.Speedup[i]-hw.Speedup[i]) / hw.Speedup[i]
-		te.MeanErr += e
-		if e > te.MaxErr {
-			te.MaxErr = e
-		}
+		e := stats.RelError(simc.Speedup[i], hw.Speedup[i])
+		errs = append(errs, e)
 		te.FinalErr = e
-		n++
 	}
-	if n > 0 {
-		te.MeanErr /= float64(n)
-	}
+	te.MaxErr = stats.Max(errs)
+	te.MeanErr = stats.Mean(errs)
 	return te
 }

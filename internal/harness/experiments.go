@@ -70,7 +70,7 @@ type Table3Data struct {
 // and untuned FlashLite for the five protocol read cases. The simulator
 // column uses SimOS-Mipsy at the hardware clock, as snbench did.
 func (s *Session) Table3() (Table3Data, string, error) {
-	cal := core.NewCalibrator(s.Ref)
+	cal := s.calibrator()
 	d := Table3Data{
 		Tuned:   make(map[proto.Case]float64),
 		Untuned: make(map[proto.Case]float64),
@@ -91,11 +91,11 @@ func (s *Session) Table3() (Table3Data, string, error) {
 	}
 	tuned := calib.Apply(untuned)
 	for _, pc := range d.Cases {
-		u, err := core.SimDepLatency(untuned, pc)
+		u, err := cal.SimDepLatency(untuned, pc)
 		if err != nil {
 			return d, "", err
 		}
-		tn, err := core.SimDepLatency(tuned, pc)
+		tn, err := cal.SimDepLatency(tuned, pc)
 		if err != nil {
 			return d, "", err
 		}
@@ -273,21 +273,20 @@ type TLBCostData struct {
 // 25 vs MXS 35).
 func (s *Session) ExperimentTLBCost() (TLBCostData, string, error) {
 	var d TLBCostData
-	cal := core.NewCalibrator(s.Ref)
+	cal := s.calibrator()
 	hwMeas, err := s.Ref.MeasureAt(snbench.TLBTimer(0, 0, 0), 1)
 	if err != nil {
 		return d, "", err
 	}
 	d.HWCycles = snbench.TLBHandlerCycles(hwMeas.Runs[0], s.Ref.ConfigAt(1).ClockMHz, 0, 0, 0)
-	d.MipsyCycles, err = core.SimTLBCycles(core.SimOSMipsy(1, 150, true))
+	d.MipsyCycles, err = cal.SimTLBCycles(core.SimOSMipsy(1, 150, true))
 	if err != nil {
 		return d, "", err
 	}
-	d.MXSCycles, err = core.SimTLBCycles(core.SimOSMXS(1, true))
+	d.MXSCycles, err = cal.SimTLBCycles(core.SimOSMXS(1, true))
 	if err != nil {
 		return d, "", err
 	}
-	_ = cal
 	text := fmt.Sprintf("TLB refill cost (measured by snbench TLB timer):\n"+
 		"  FLASH hardware: %5.1f cycles (paper: 65)\n"+
 		"  SimOS-Mipsy:    %5.1f cycles (paper: 25)\n"+
@@ -360,13 +359,13 @@ func (s *Session) ExperimentMulDiv() (MulDivData, string, error) {
 		return d, "", err
 	}
 	tuned := cal.Apply(base)
-	res, err := machine.Run(tuned, w.Make(1))
+	res, err := s.runOne(tuned, w.Make(1))
 	if err != nil {
 		return d, "", err
 	}
 	d.RelWithout = float64(res.Exec) / float64(hwMeas.Mean)
 	tuned.ModelInstrLatency = true
-	res2, err := machine.Run(tuned, w.Make(1))
+	res2, err := s.runOne(tuned, w.Make(1))
 	if err != nil {
 		return d, "", err
 	}

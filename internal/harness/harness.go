@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -14,6 +15,7 @@ import (
 	"flashsim/internal/core"
 	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
+	"flashsim/internal/runner"
 )
 
 // Scale selects experiment problem sizes.
@@ -106,23 +108,57 @@ func (s Scale) FixedApps() []core.Workload {
 }
 
 // Session carries the shared state of one evaluation run: the hardware
-// reference, the scale, and cached calibrations (calibrating a
-// simulator is itself a set of machine runs, reused across figures).
+// reference, the scale, the run-execution pool, and cached calibrations
+// (calibrating a simulator is itself a set of machine runs, reused
+// across figures).
 type Session struct {
 	Ref   *core.Reference
 	Scale Scale
 
+	pool *runner.Pool
 	cals map[string]core.Calibration
 }
 
 // NewSession builds a session with a 16-processor hardware reference at
-// the scaled cache geometry.
-func NewSession(scale Scale) *Session {
+// the scaled cache geometry, executing runs serially.
+func NewSession(scale Scale) *Session { return NewSessionWithPool(scale, nil) }
+
+// NewSessionWithPool is NewSession with every experiment's runs routed
+// through pool (nil = serial). The pool is wired into the reference, so
+// the Study, Calibrator, and TrendAnalyzer instances the figures build
+// against it inherit it too; a pool with a store memoizes runs across
+// figures (figure 3 reuses the reference runs figure 2 paid for).
+func NewSessionWithPool(scale Scale, pool *runner.Pool) *Session {
 	ref := core.NewReference(16, true)
+	ref.Pool = pool
 	if scale == ScaleQuick {
 		ref.Repeats = 2
 	}
-	return &Session{Ref: ref, Scale: scale, cals: make(map[string]core.Calibration)}
+	return &Session{Ref: ref, Scale: scale, pool: pool, cals: make(map[string]core.Calibration)}
+}
+
+// Pool returns the session's pool (nil when running serially).
+func (s *Session) Pool() *runner.Pool { return s.pool }
+
+// calibrator returns a fresh calibrator wired to the session's pool.
+func (s *Session) calibrator() *core.Calibrator {
+	cal := core.NewCalibrator(s.Ref)
+	cal.Pool = s.pool
+	return cal
+}
+
+// runOne executes a single machine run through the session's pool so it
+// participates in memoization; with no pool it is exactly machine.Run.
+func (s *Session) runOne(cfg machine.Config, prog emitter.Program) (machine.Result, error) {
+	pool := s.pool
+	if pool == nil {
+		pool = runner.Serial()
+	}
+	results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Prog: prog}})
+	if err != nil {
+		return machine.Result{}, err
+	}
+	return results[0], nil
 }
 
 // Calibrate returns the (cached) calibration for cfg.
@@ -130,7 +166,7 @@ func (s *Session) Calibrate(cfg machine.Config) (core.Calibration, error) {
 	if cal, ok := s.cals[cfg.Name]; ok {
 		return cal, nil
 	}
-	cal, err := core.NewCalibrator(s.Ref).Calibrate(cfg)
+	cal, err := s.calibrator().Calibrate(cfg)
 	if err != nil {
 		return cal, err
 	}

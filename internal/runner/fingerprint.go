@@ -1,0 +1,40 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+)
+
+// Fingerprint returns the content-addressed store key of one run: a
+// hex SHA-256 over the canonical JSON encoding of the full machine
+// configuration (processor count and seed included) and the workload
+// identity. Two runs share a fingerprint exactly when machine.Run is
+// guaranteed to produce the same Result for both.
+//
+// The workload identity is Program.FullName() plus the thread count;
+// the apps and snbench constructors encode their parameterization in
+// the Variant, which is what makes the name a sound cache key. A
+// program whose Variant omits a behavior-changing parameter must not
+// be memoized (leave the pool's store nil, or make the Variant
+// complete).
+func Fingerprint(cfg machine.Config, prog emitter.Program) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	err := enc.Encode(struct {
+		Config   machine.Config
+		Workload string
+		Threads  int
+	}{cfg, prog.FullName(), prog.Threads})
+	if err != nil {
+		// machine.Config is plain data; an encoding failure is a
+		// programming error in a new Config field, not a runtime
+		// condition.
+		panic(fmt.Sprintf("runner: fingerprint encoding failed: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,204 @@
+// Package runner is the run-execution subsystem between the experiment
+// logic (core, harness) and the machine model: a bounded worker pool
+// that fans independent, seed-deterministic simulation runs out across
+// cores, backed by a content-addressed store that memoizes results so
+// no (config, workload, procs, seed) combination is ever simulated
+// twice.
+//
+// Every experiment in the study is a batch of such runs — the ≥5-run
+// jitter averages of core.Reference, the 7-config × 4-app sweeps of
+// core.Study, the 1–16p speedup curves of core.TrendAnalyzer, and the
+// Calibrator's repeated snbench probes. Because machine.Run is a pure
+// function of (Config, Program), executing a batch concurrently and
+// returning results in submission order is bit-identical to running it
+// serially, whatever the worker count.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+)
+
+// Job describes one simulation run: a machine configuration and the
+// program to execute on it. Procs and Seed, when set, override the
+// corresponding Config fields — they exist so a batch over one base
+// configuration (a repeats average, a processor sweep) can be expressed
+// without copying the whole Config by hand.
+type Job struct {
+	Config machine.Config
+	Prog   emitter.Program
+	// Procs overrides Config.Procs when positive.
+	Procs int
+	// Seed overrides Config.Seed when nonzero.
+	Seed uint64
+}
+
+// config returns the effective configuration with overrides applied.
+func (j Job) config() machine.Config {
+	cfg := j.Config
+	if j.Procs > 0 {
+		cfg.Procs = j.Procs
+	}
+	if j.Seed != 0 {
+		cfg.Seed = j.Seed
+	}
+	return cfg
+}
+
+// Fingerprint returns the job's content-addressed store key.
+func (j Job) Fingerprint() string { return Fingerprint(j.config(), j.Prog) }
+
+// Outcome is the per-job result of a batch: exactly one of Result or
+// Err is meaningful. Cached reports a memoized result (no machine.Run
+// was performed).
+type Outcome struct {
+	Result machine.Result
+	Err    error
+	Cached bool
+}
+
+// Pool executes batches of Jobs on a bounded set of workers. A Pool is
+// safe for concurrent use; its zero worker count resolves to
+// runtime.GOMAXPROCS(0). The pool is stateless apart from its optional
+// Store and its running Stats, so one pool can serve every experiment
+// in a process (and should, so the cache is shared).
+type Pool struct {
+	workers int
+	store   *Store
+
+	jobs   atomicCounter
+	ran    atomicCounter
+	hits   atomicCounter
+	failed atomicCounter
+	wall   atomicCounter // nanoseconds across Run/RunAll calls
+	cpu    atomicCounter // summed per-job execution nanoseconds
+}
+
+// New returns a pool with the given concurrency. workers <= 0 selects
+// runtime.GOMAXPROCS(0); workers == 1 is strictly serial. store may be
+// nil to disable memoization.
+func New(workers int, store *Store) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, store: store}
+}
+
+// Serial returns a one-worker pool with no store — the behavior of
+// calling machine.Run in a loop, which is the default for every
+// consumer that is not handed an explicit pool.
+func Serial() *Pool { return New(1, nil) }
+
+// Workers returns the pool's concurrency.
+func (p *Pool) Workers() int { return p.workers }
+
+// Store returns the pool's memoization store (nil if none).
+func (p *Pool) Store() *Store { return p.store }
+
+// Run executes jobs and returns their results in submission order. If
+// any job fails, Run returns the error of the earliest failed job (by
+// submission order); the remaining jobs still execute. Cancellation of
+// ctx fails the jobs that have not started.
+func (p *Pool) Run(ctx context.Context, jobs []Job) ([]machine.Result, error) {
+	outs := p.RunAll(ctx, jobs)
+	results := make([]machine.Result, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			return nil, fmt.Errorf("run %d/%d (%s on %q): %w",
+				i+1, len(jobs), jobs[i].Prog.FullName(), jobs[i].config().Name, o.Err)
+		}
+		results[i] = o.Result
+	}
+	return results, nil
+}
+
+// RunAll executes jobs and returns one Outcome per job, in submission
+// order, with per-job errors left to the caller.
+func (p *Pool) RunAll(ctx context.Context, jobs []Job) []Outcome {
+	t0 := time.Now()
+	defer func() { p.wall.add(int64(time.Since(t0))) }()
+
+	out := make([]Outcome, len(jobs))
+	workers := p.workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			out[i] = p.runOne(ctx, jobs[i])
+		}
+		return out
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = p.runOne(ctx, jobs[i])
+			}
+		}()
+	}
+	// Each index is delivered exactly once: either to a worker, or —
+	// once the context dies — marked failed right here.
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			p.jobs.add(1)
+			p.failed.add(1)
+			out[i] = Outcome{Err: ctx.Err()}
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// runOne executes a single job: store lookup, machine run, store fill.
+// A panicking run fails that job with the stack attached instead of
+// crashing the process (a crashing sim configuration must not take the
+// whole sweep down with it).
+func (p *Pool) runOne(ctx context.Context, j Job) (o Outcome) {
+	p.jobs.add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			p.failed.add(1)
+			o = Outcome{Err: fmt.Errorf("simulation panicked: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		p.failed.add(1)
+		return Outcome{Err: err}
+	}
+	cfg := j.config()
+	key := ""
+	if p.store != nil {
+		key = Fingerprint(cfg, j.Prog)
+		if res, ok := p.store.Get(key); ok {
+			p.hits.add(1)
+			return Outcome{Result: res, Cached: true}
+		}
+	}
+	t0 := time.Now()
+	res, err := machine.Run(cfg, j.Prog)
+	p.cpu.add(int64(time.Since(t0)))
+	p.ran.add(1)
+	if err != nil {
+		p.failed.add(1)
+		return Outcome{Err: err}
+	}
+	if p.store != nil {
+		p.store.Put(key, res)
+	}
+	return Outcome{Result: res}
+}

@@ -1,0 +1,127 @@
+package runner
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flashsim/internal/machine"
+)
+
+// Store memoizes simulation results by fingerprint. It always keeps an
+// in-memory map; with a directory it additionally persists every
+// result as one JSON file per key, so a later process (or a later
+// figure in the same CLI invocation pattern) reuses runs an earlier
+// one already paid for — cmd/validate -figure 3 rereads the reference
+// runs -figure 1 produced, and the Calibrator's repeated snbench
+// probes hit cache across simulator configurations.
+//
+// A Store is safe for concurrent use. Disk writes are best-effort: the
+// first I/O error is retained (Err) and the store keeps serving from
+// memory.
+type Store struct {
+	dir string
+
+	mu      sync.RWMutex
+	mem     map[string]machine.Result
+	diskErr error
+}
+
+// NewStore returns a store rooted at dir; dir == "" keeps the store
+// purely in-memory. The directory is created if missing.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir, mem: make(map[string]machine.Result)}, nil
+}
+
+// Dir returns the on-disk root ("" for a memory-only store).
+func (s *Store) Dir() string { return s.dir }
+
+// path returns the file backing a key.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the memoized result for key, consulting memory first and
+// then disk. A disk hit is promoted into memory.
+func (s *Store) Get(key string) (machine.Result, bool) {
+	s.mu.RLock()
+	res, ok := s.mem[key]
+	s.mu.RUnlock()
+	if ok || s.dir == "" {
+		return res, ok
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return machine.Result{}, false
+	}
+	var disk machine.Result
+	if err := json.Unmarshal(data, &disk); err != nil {
+		// A truncated or stale-format entry is a miss, not an error:
+		// the run is simply recomputed and rewritten.
+		return machine.Result{}, false
+	}
+	s.mu.Lock()
+	s.mem[key] = disk
+	s.mu.Unlock()
+	return disk, true
+}
+
+// Put memoizes a result under key, writing through to disk when the
+// store is persistent.
+func (s *Store) Put(key string, res machine.Result) {
+	s.mu.Lock()
+	s.mem[key] = res
+	s.mu.Unlock()
+	if s.dir == "" {
+		return
+	}
+	if err := s.writeFile(key, res); err != nil {
+		s.mu.Lock()
+		if s.diskErr == nil {
+			s.diskErr = err
+		}
+		s.mu.Unlock()
+	}
+}
+
+// writeFile persists one entry atomically (temp file + rename), so a
+// concurrent reader never observes a partial entry.
+func (s *Store) writeFile(key string, res machine.Result) error {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return errors.Join(werr, cerr)
+	}
+	return os.Rename(tmp.Name(), s.path(key))
+}
+
+// Len returns the number of in-memory entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.mem)
+}
+
+// Err returns the first disk I/O error encountered, if any. The store
+// remains usable in memory after a disk failure.
+func (s *Store) Err() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.diskErr
+}
