@@ -8,6 +8,7 @@
 //	flashsim -app radix -radix 32 -procs 16
 //	flashsim -app ocean -sim solo-mipsy -mhz 225
 //	flashsim -app lu -sim simos-mxs -mem numa
+//	flashsim -sim simos-mipsy -set os.tlb.handler_cycles=65
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"flashsim/internal/apps"
+	"flashsim/internal/cliutil"
 	"flashsim/internal/core"
 	"flashsim/internal/emitter"
 	"flashsim/internal/hw"
@@ -40,9 +42,12 @@ func main() {
 		tlbBlk   = flag.Bool("tlb-blocked", true, "FFT transpose blocked for the TLB")
 		seed     = flag.Uint64("seed", 1, "jitter/branch seed")
 		fullSize = flag.Bool("full", true, "full (1/16-paper) problem sizes")
-		cacheDir = flag.String("cache-dir", "", "persist memoized run results in this directory")
+		cf       = cliutil.Register()
 	)
 	flag.Parse()
+	if err := cf.Finish(); err != nil {
+		log.Fatal(err)
+	}
 
 	var cfg machine.Config
 	switch *simName {
@@ -61,6 +66,10 @@ func main() {
 		cfg = core.WithNUMA(cfg)
 	}
 	cfg.Seed = *seed
+	cfg, err := cf.Apply(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var prog emitter.Program
 	switch *app {
@@ -92,11 +101,10 @@ func main() {
 		log.Fatalf("unknown workload %q", *app)
 	}
 
-	store, err := runner.NewStore(*cacheDir)
+	pool, store, err := cf.Pool()
 	if err != nil {
-		log.Fatalf("cache: %v", err)
+		log.Fatal(err)
 	}
-	pool := runner.New(1, store)
 
 	t0 := time.Now()
 	results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Prog: prog}})

@@ -15,36 +15,37 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"runtime"
 
+	"flashsim/internal/cliutil"
 	"flashsim/internal/core"
 	"flashsim/internal/machine"
 	"flashsim/internal/proto"
-	"flashsim/internal/runner"
 	"flashsim/internal/snbench"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		simName  = flag.String("sim", "", "simulator to compare: simos-mipsy, simos-mxs, solo-mipsy")
-		mhz      = flag.Int("mhz", 150, "simulator clock (150, 225, 300)")
-		tuned    = flag.Bool("tuned", false, "calibrate the simulator before measuring")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel")
-		cacheDir = flag.String("cache-dir", "", "persist memoized run results in this directory")
+		simName = flag.String("sim", "", "simulator to compare: simos-mipsy, simos-mxs, solo-mipsy")
+		mhz     = flag.Int("mhz", 150, "simulator clock (150, 225, 300)")
+		tuned   = flag.Bool("tuned", false, "calibrate the simulator before measuring")
+		cf      = cliutil.Register()
 	)
 	flag.Parse()
-
-	store, err := runner.NewStore(*cacheDir)
-	if err != nil {
-		log.Fatalf("cache: %v", err)
+	if err := cf.Finish(); err != nil {
+		log.Fatal(err)
 	}
-	pool := runner.New(*jobs, store)
+
+	pool, _, err := cf.Pool()
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer func() { fmt.Printf("[runner: %s]\n", pool.Stats()) }()
 
 	ref := core.NewReference(4, true)
 	ref.Pool = pool
 	cal := core.NewCalibrator(ref)
+	cal.Pool = pool
 
 	fmt.Println("Dependent loads (ns per load):")
 	hwLat, err := cal.DependentLoadLatencies()
@@ -71,6 +72,13 @@ func main() {
 	default:
 		log.Fatalf("unknown simulator %q", *simName)
 	}
+	if simCfg != nil {
+		c, err := cf.Apply(*simCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		simCfg = &c
+	}
 	if simCfg != nil && *tuned {
 		calRes, err := cal.Calibrate(*simCfg)
 		if err != nil {
@@ -78,10 +86,8 @@ func main() {
 		}
 		t := calRes.Apply(*simCfg)
 		simCfg = &t
-		fmt.Println("calibration report:")
-		for _, a := range calRes.Report {
-			fmt.Printf("  %v\n", a)
-		}
+		fmt.Println("calibration (parameter diff by registry path):")
+		fmt.Print(calRes.RenderDiff())
 	}
 
 	for _, pc := range cases {

@@ -15,34 +15,35 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
+	"flashsim/internal/cliutil"
 	"flashsim/internal/harness"
-	"flashsim/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		all      = flag.Bool("all", false, "run figures 5, 6, and 7")
-		figure   = flag.Int("figure", 0, "run figure 5, 6, or 7")
-		quick    = flag.Bool("quick", false, "use reduced problem sizes")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel")
-		cacheDir = flag.String("cache-dir", "", "persist memoized run results in this directory")
+		all    = flag.Bool("all", false, "run figures 5, 6, and 7")
+		figure = flag.Int("figure", 0, "run figure 5, 6, or 7")
+		quick  = flag.Bool("quick", false, "use reduced problem sizes")
+		cf     = cliutil.Register()
 	)
 	flag.Parse()
+	if err := cf.Finish(); err != nil {
+		log.Fatal(err)
+	}
 
 	scale := harness.ScaleFull
 	if *quick {
 		scale = harness.ScaleQuick
 	}
-	store, err := runner.NewStore(*cacheDir)
+	pool, _, err := cf.Pool()
 	if err != nil {
-		log.Fatalf("cache: %v", err)
+		log.Fatal(err)
 	}
-	pool := runner.New(*jobs, store)
 	s := harness.NewSessionWithPool(scale, pool)
+	s.Override = cf.Apply
 	defer func() { fmt.Printf("[runner: %s]\n", pool.Stats()) }()
 
 	ran := false

@@ -13,23 +13,24 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"runtime"
 
+	"flashsim/internal/cliutil"
 	"flashsim/internal/core"
 	"flashsim/internal/machine"
 	"flashsim/internal/proto"
-	"flashsim/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		simName  = flag.String("sim", "simos-mipsy", "simos-mipsy, simos-mxs, solo-mipsy")
-		mhz      = flag.Int("mhz", 150, "Mipsy clock (150, 225, 300)")
-		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel")
-		cacheDir = flag.String("cache-dir", "", "persist memoized run results in this directory")
+		simName = flag.String("sim", "simos-mipsy", "simos-mipsy, simos-mxs, solo-mipsy")
+		mhz     = flag.Int("mhz", 150, "Mipsy clock (150, 225, 300)")
+		cf      = cliutil.Register()
 	)
 	flag.Parse()
+	if err := cf.Finish(); err != nil {
+		log.Fatal(err)
+	}
 
 	var cfg machine.Config
 	switch *simName {
@@ -42,26 +43,32 @@ func main() {
 	default:
 		log.Fatalf("unknown simulator %q", *simName)
 	}
-
-	store, err := runner.NewStore(*cacheDir)
+	cfg, err := cf.Apply(cfg)
 	if err != nil {
-		log.Fatalf("cache: %v", err)
+		log.Fatal(err)
 	}
-	pool := runner.New(*jobs, store)
+
+	pool, _, err := cf.Pool()
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer func() { fmt.Printf("[runner: %s]\n", pool.Stats()) }()
 
 	ref := core.NewReference(4, true)
 	ref.Pool = pool
 	cal := core.NewCalibrator(ref)
+	cal.Pool = pool
 	fmt.Printf("calibrating %s against the hardware reference...\n", cfg.Name)
 	c, err := cal.Calibrate(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nadjustments:")
+	fmt.Println("\nadjustments (fitting log):")
 	for _, a := range c.Report {
 		fmt.Printf("  %v\n", a)
 	}
+	fmt.Println("\nparameter diff (untuned -> tuned, by registry path):")
+	fmt.Print(c.RenderDiff())
 
 	hwLat, err := cal.DependentLoadLatencies()
 	if err != nil {

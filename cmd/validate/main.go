@@ -10,6 +10,7 @@
 //	validate -experiment tlb # tlb | blocking | muldiv | defects
 //	validate -quick          # reduced problem sizes
 //	validate -all -jobs 8 -cache-dir .flashcache
+//	validate -experiment tlb -set os.tlb.handler_cycles=65   # the X1 fix as an override
 package main
 
 import (
@@ -17,11 +18,10 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"time"
 
+	"flashsim/internal/cliutil"
 	"flashsim/internal/harness"
-	"flashsim/internal/runner"
 )
 
 func main() {
@@ -32,21 +32,24 @@ func main() {
 		figure     = flag.Int("figure", 0, "run figure 1-4")
 		experiment = flag.String("experiment", "", "run an in-text experiment: tlb, blocking, muldiv, defects")
 		quick      = flag.Bool("quick", false, "use reduced problem sizes")
-		jobs       = flag.Int("jobs", runtime.GOMAXPROCS(0), "simulation runs to execute in parallel")
-		cacheDir   = flag.String("cache-dir", "", "persist memoized run results in this directory")
+		tuning     = flag.Bool("tuning", false, "print each simulator's calibration as a registry diff")
+		cf         = cliutil.Register()
 	)
 	flag.Parse()
+	if err := cf.Finish(); err != nil {
+		log.Fatal(err)
+	}
 
 	scale := harness.ScaleFull
 	if *quick {
 		scale = harness.ScaleQuick
 	}
-	store, err := runner.NewStore(*cacheDir)
+	pool, _, err := cf.Pool()
 	if err != nil {
-		log.Fatalf("cache: %v", err)
+		log.Fatal(err)
 	}
-	pool := runner.New(*jobs, store)
 	s := harness.NewSessionWithPool(scale, pool)
+	s.Override = cf.Apply
 	defer func() { fmt.Printf("[runner: %s]\n", pool.Stats()) }()
 
 	ran := false
@@ -79,7 +82,12 @@ func main() {
 		timed("figure 2", func() (string, error) { _, t, err := s.Figure2(); return t, err })
 	}
 	if *all || *figure == 3 {
+		// Figure 3 is the tuned comparison; show what the tuning
+		// actually changed, as registry diffs.
+		timed("tuning diffs", func() (string, error) { return s.TuningDiffs(1) })
 		timed("figure 3", func() (string, error) { _, t, err := s.Figure3(); return t, err })
+	} else if *tuning {
+		timed("tuning diffs", func() (string, error) { return s.TuningDiffs(1) })
 	}
 	if *all || *figure == 4 {
 		timed("figure 4", func() (string, error) { _, t, err := s.Figure4(); return t, err })

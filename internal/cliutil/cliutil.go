@@ -1,0 +1,137 @@
+// Package cliutil is the shared command-line plumbing of the cmd/
+// front ends. Every CLI gets the same four knobs with one canonical
+// description each — -jobs and -cache-dir (the runner pool), -config
+// and -set (machine-parameter overrides through the internal/param
+// registry) — plus -list-params for registry introspection, instead of
+// five drifting copies of the same flag declarations.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/param"
+	"flashsim/internal/runner"
+)
+
+// Canonical help text for the shared flags; cmd mains must not
+// re-declare these flags with local wording.
+const (
+	jobsUsage       = "simulation runs to execute in parallel"
+	cacheDirUsage   = "persist memoized run results in this directory"
+	configUsage     = "apply machine-parameter overrides from this JSON file (a param snapshot or a bare {\"path\": value} object)"
+	setUsage        = "override one machine parameter as path=value (repeatable; see -list-params)"
+	listParamsUsage = "print the tunable-parameter registry and exit"
+)
+
+// Flags carries the shared flag values after flag.Parse.
+type Flags struct {
+	Jobs       int
+	CacheDir   string
+	ConfigFile string
+	ListParams bool
+
+	sets     stringList
+	settings []param.Setting
+	snapshot *param.Snapshot
+}
+
+// stringList is a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+// Register installs the shared flags on the process flag set. Call
+// before flag.Parse, then Finish after it.
+func Register() *Flags { return RegisterOn(flag.CommandLine) }
+
+// RegisterOn installs the shared flags on fs.
+func RegisterOn(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Jobs, "jobs", runtime.GOMAXPROCS(0), jobsUsage)
+	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirUsage)
+	fs.StringVar(&f.ConfigFile, "config", "", configUsage)
+	fs.Var(&f.sets, "set", setUsage)
+	fs.BoolVar(&f.ListParams, "list-params", false, listParamsUsage)
+	return f
+}
+
+// Finish validates the parsed flags: -list-params prints the registry
+// and exits, -config is loaded, and every -set is checked against the
+// registry (unknown paths, unparseable values, and bounds violations
+// fail here, before any simulation runs).
+func (f *Flags) Finish() error {
+	if f.ListParams {
+		fmt.Print(param.Describe())
+		os.Exit(0)
+	}
+	if f.ConfigFile != "" {
+		data, err := os.ReadFile(f.ConfigFile)
+		if err != nil {
+			return fmt.Errorf("-config: %w", err)
+		}
+		snap, err := param.ParseSnapshot(data)
+		if err != nil {
+			return fmt.Errorf("-config %s: %w", f.ConfigFile, err)
+		}
+		// Surface unknown paths and bad values now, not mid-sweep.
+		if _, err := param.ApplySnapshot(machine.Base(1, true), snap); err != nil {
+			return fmt.Errorf("-config %s: %w", f.ConfigFile, err)
+		}
+		f.snapshot = &snap
+	}
+	f.settings = f.settings[:0]
+	for _, raw := range f.sets {
+		s, err := param.ParseSetting(raw)
+		if err != nil {
+			return fmt.Errorf("-set %s: %w", raw, err)
+		}
+		if err := s.Validate(); err != nil {
+			return fmt.Errorf("-set %s: %w", raw, err)
+		}
+		f.settings = append(f.settings, s)
+	}
+	return nil
+}
+
+// HasOverrides reports whether -config or -set supplied any parameter
+// overrides.
+func (f *Flags) HasOverrides() bool {
+	return f.snapshot != nil || len(f.settings) > 0
+}
+
+// Apply returns cfg with the -config snapshot and then every -set
+// override applied, in order. It is a no-op without overrides, so it is
+// safe to install unconditionally as a Session override hook.
+func (f *Flags) Apply(cfg machine.Config) (machine.Config, error) {
+	var err error
+	if f.snapshot != nil {
+		cfg, err = param.ApplySnapshot(cfg, *f.snapshot)
+		if err != nil {
+			return cfg, err
+		}
+	}
+	return param.ApplySettings(cfg, f.settings)
+}
+
+// Pool builds the runner pool and memoizing store the flags describe.
+func (f *Flags) Pool() (*runner.Pool, *runner.Store, error) {
+	store, err := runner.NewStore(f.CacheDir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cache: %w", err)
+	}
+	return runner.New(f.Jobs, store), store, nil
+}
+
+// Settings returns the validated -set overrides (file overrides are in
+// the snapshot, retrievable via Apply).
+func (f *Flags) Settings() []param.Setting { return f.settings }

@@ -7,29 +7,33 @@ import (
 
 	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
-	"flashsim/internal/memsys"
+	"flashsim/internal/param"
 	"flashsim/internal/proto"
 	"flashsim/internal/runner"
 	"flashsim/internal/snbench"
 )
 
 // Calibration is the set of parameter corrections the tuning loop
-// produces; Apply rewrites a simulator configuration with them. It is
-// the code form of §3.1.2's fixes: the corrected TLB-refill cost, the
-// enabled-and-fitted secondary-cache interface occupancy, and the
-// FlashLite timing constants that make the five dependent-load protocol
-// cases match the hardware.
+// produces: a generic list of registry deltas ({path, before, after})
+// applied through internal/param, so the calibrator never needs a
+// per-field switch and new knobs join the loop by registration alone.
+// It is the code form of §3.1.2's fixes: the corrected TLB-refill cost
+// (os.tlb.handler_cycles), the enabled-and-fitted secondary-cache
+// interface occupancy (l2.model_interface_occupancy, l2.transfer_ns),
+// and the FlashLite timing constants (flash.*) that make the five
+// dependent-load protocol cases match the hardware.
 type Calibration struct {
-	TLBHandlerCycles uint32
-	L2Occupancy      bool
-	L2TransferNS     float64
-	Timing           memsys.FlashTiming
-	// Report records every adjustment for the write-up.
+	// Deltas is the calibration itself, in registry-path order.
+	Deltas []param.Delta
+	// Report records every adjustment for the write-up, keyed by the
+	// same registry paths.
 	Report []Adjustment
 }
 
-// Adjustment records one tuning step.
+// Adjustment records one tuning step against the microbenchmark that
+// drove it.
 type Adjustment struct {
+	// Param is the registry path of the adjusted knob.
 	Param     string
 	Before    float64
 	After     float64
@@ -41,27 +45,42 @@ type Adjustment struct {
 
 // String renders the adjustment.
 func (a Adjustment) String() string {
-	return fmt.Sprintf("%-22s %8.1f -> %8.1f %-6s (hw %.1f, sim %.1f -> %.1f)",
+	return fmt.Sprintf("%-30s %8.1f -> %8.1f %-6s (hw %.1f, sim %.1f -> %.1f)",
 		a.Param, a.Before, a.After, a.Unit, a.HWMetric, a.SimBefore, a.SimAfter)
 }
 
-// Apply rewrites cfg with the calibrated parameters. Solo configurations
-// keep no TLB (there is nothing to correct — the omission is the point);
-// NUMA memory systems keep their latency table.
+// Apply rewrites cfg with the calibrated parameters through the
+// registry. Deltas produced by Calibrate are always registry-valid, so
+// a failure to apply is a programming error, not a runtime condition.
 func (c Calibration) Apply(cfg machine.Config) machine.Config {
-	if cfg.OS.TLBEntries > 0 || cfg.OS.TLBHandlerCycles > 0 {
-		cfg.OS.TLBHandlerCycles = c.TLBHandlerCycles
+	out, err := param.ApplyDeltas(cfg, c.Deltas)
+	if err != nil {
+		panic(fmt.Sprintf("core: calibration deltas failed to apply: %v", err))
 	}
-	cfg.ModelL2InterfaceOccupancy = c.L2Occupancy
-	if c.L2TransferNS > 0 {
-		cfg.L2TransferNS = c.L2TransferNS
-	}
-	if cfg.Mem == machine.MemFlashLite {
-		cfg.FlashTiming = c.Timing
-	}
-	cfg.Name += " (tuned)"
-	return cfg
+	out.Name = cfg.Name + " (tuned)"
+	return out
 }
+
+// Value returns the post-calibration value of a registry path, if the
+// calibration touched it.
+func (c Calibration) Value(path string) (any, bool) {
+	for _, d := range c.Deltas {
+		if d.Path == path {
+			return d.After, true
+		}
+	}
+	return nil, false
+}
+
+// Changed reports whether the calibration adjusted the given path.
+func (c Calibration) Changed(path string) bool {
+	_, ok := c.Value(path)
+	return ok
+}
+
+// RenderDiff renders the calibration as a registry diff (the
+// untuned-to-tuned parameter changes, one per line).
+func (c Calibration) RenderDiff() string { return param.RenderDeltas(c.Deltas) }
 
 // Calibrator closes the simulation loop: it measures microbenchmarks on
 // the hardware reference and iteratively adjusts a simulator's
@@ -190,47 +209,50 @@ func simDepLatency(p *runner.Pool, cfg machine.Config, pc proto.Case) (float64, 
 
 // Calibrate tunes cfg against the hardware reference and returns the
 // calibration. The input configuration is not modified; apply the
-// result with Calibration.Apply.
+// result with Calibration.Apply. Internally the loop evolves a working
+// copy of cfg and the returned Deltas are the registry diff between the
+// original and the fitted configuration, so every adjusted knob —
+// present and future — flows through the same generic path.
 func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 	maxRounds := c.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 6
 	}
 	pool := c.pool()
-	cal := Calibration{
-		TLBHandlerCycles: cfg.OS.TLBHandlerCycles,
-		L2TransferNS:     cfg.L2TransferNS,
-		Timing:           cfg.FlashTiming,
-	}
+	var cal Calibration
+	// work is the evolving tuned configuration; cfg stays untouched so
+	// the final registry diff is exactly the calibration.
+	work := cfg
 
 	// Step 1: TLB-refill cost ("with hardware results and a
 	// microbenchmark that times TLB misses, we were able to tune our
-	// simulators to give the correct value").
+	// simulators to give the correct value"). Solo configurations keep
+	// no TLB — there is nothing to correct; the omission is the point.
 	if cfg.OS.TLBHandlerCycles > 0 {
 		hwC, err := c.hwTLBCycles()
 		if err != nil {
 			return cal, err
 		}
-		before := float64(cal.TLBHandlerCycles)
-		simBefore, err := simTLBCycles(pool, applyTLB(cfg, cal.TLBHandlerCycles))
+		before := float64(work.OS.TLBHandlerCycles)
+		simBefore, err := simTLBCycles(pool, work)
 		if err != nil {
 			return cal, err
 		}
 		simC := simBefore
 		for round := 0; round < maxRounds && math.Abs(hwC-simC) > 1; round++ {
-			next := float64(cal.TLBHandlerCycles) + (hwC - simC)
+			next := float64(work.OS.TLBHandlerCycles) + (hwC - simC)
 			if next < 1 {
 				next = 1
 			}
-			cal.TLBHandlerCycles = uint32(next + 0.5)
-			simC, err = simTLBCycles(pool, applyTLB(cfg, cal.TLBHandlerCycles))
+			work.OS.TLBHandlerCycles = uint32(next + 0.5)
+			simC, err = simTLBCycles(pool, work)
 			if err != nil {
 				return cal, err
 			}
 		}
 		cal.Report = append(cal.Report, Adjustment{
-			Param: "tlb-handler", Unit: "cycles",
-			Before: before, After: float64(cal.TLBHandlerCycles),
+			Param: "os.tlb.handler_cycles", Unit: "cycles",
+			Before: before, After: float64(work.OS.TLBHandlerCycles),
 			HWMetric: hwC, SimBefore: simBefore, SimAfter: simC,
 		})
 	}
@@ -241,7 +263,7 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 		if err != nil {
 			return cal, err
 		}
-		probe := cal.Apply(cfg)
+		probe := work
 		probe.ModelL2InterfaceOccupancy = false
 		simBefore, err := simRestartNS(pool, probe)
 		if err != nil {
@@ -249,22 +271,29 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 		}
 		simT := simBefore
 		if simT < hwT*0.97 {
-			cal.L2Occupancy = true
+			work.ModelL2InterfaceOccupancy = true
 			for round := 0; round < maxRounds && math.Abs(hwT-simT) > 3; round++ {
-				probe = cal.Apply(cfg)
-				simT, err = simRestartNS(pool, probe)
+				simT, err = simRestartNS(pool, work)
 				if err != nil {
 					return cal, err
 				}
-				cal.L2TransferNS += hwT - simT
-				if cal.L2TransferNS < 0 {
-					cal.L2TransferNS = 0
+				work.L2TransferNS += hwT - simT
+				if work.L2TransferNS < 0 {
+					work.L2TransferNS = 0
 				}
 			}
+			cal.Report = append(cal.Report, Adjustment{
+				Param: "l2.model_interface_occupancy", Unit: "bool",
+				Before: 0, After: 1,
+				HWMetric: hwT, SimBefore: simBefore, SimAfter: simT,
+			})
 		}
+		// When the occupancy stays off (blocking-read models are
+		// already at or above the hardware throughput) this records a
+		// no-change line: Before == After.
 		cal.Report = append(cal.Report, Adjustment{
-			Param: "l2-interface-occupancy", Unit: "ns",
-			Before: 0, After: cal.L2TransferNS,
+			Param: "l2.transfer_ns", Unit: "ns",
+			Before: cfg.L2TransferNS, After: work.L2TransferNS,
 			HWMetric: hwT, SimBefore: simBefore, SimAfter: simT,
 		})
 	}
@@ -278,19 +307,18 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 		if err != nil {
 			return cal, err
 		}
-		before := cal.Timing
+		before := work.FlashTiming
 		var simLC, simRC, simLDR float64
 		for round := 0; round < maxRounds; round++ {
-			probe := cal.Apply(cfg)
-			simLC, err = simDepLatency(pool, probe, proto.LocalClean)
+			simLC, err = simDepLatency(pool, work, proto.LocalClean)
 			if err != nil {
 				return cal, err
 			}
-			simRC, err = simDepLatency(pool, probe, proto.RemoteClean)
+			simRC, err = simDepLatency(pool, work, proto.RemoteClean)
 			if err != nil {
 				return cal, err
 			}
-			simLDR, err = simDepLatency(pool, probe, proto.LocalDirtyRemote)
+			simLDR, err = simDepLatency(pool, work, proto.LocalDirtyRemote)
 			if err != nil {
 				return cal, err
 			}
@@ -302,25 +330,28 @@ func (c *Calibrator) Calibrate(cfg machine.Config) (Calibration, error) {
 			}
 			// Local clean is bus + controller + memory: split the
 			// residual over the two bus legs.
-			cal.Timing.BusRequestNS = clampNS(cal.Timing.BusRequestNS + dLC/2)
-			cal.Timing.BusReplyNS = clampNS(cal.Timing.BusReplyNS + dLC/2)
+			work.FlashTiming.BusRequestNS = clampNS(work.FlashTiming.BusRequestNS + dLC/2)
+			work.FlashTiming.BusReplyNS = clampNS(work.FlashTiming.BusReplyNS + dLC/2)
 			// Remote clean adds two network traversals: spread the
 			// remaining residual over the four interface crossings.
 			rcResidual := dRC - dLC
-			cal.Timing.InboxNS = clampNS(cal.Timing.InboxNS + rcResidual/4)
-			cal.Timing.OutboxNS = clampNS(cal.Timing.OutboxNS + rcResidual/4)
+			work.FlashTiming.InboxNS = clampNS(work.FlashTiming.InboxNS + rcResidual/4)
+			work.FlashTiming.OutboxNS = clampNS(work.FlashTiming.OutboxNS + rcResidual/4)
 			// Dirty cases add the intervention at the owner.
-			cal.Timing.InterventionNS = clampNS(cal.Timing.InterventionNS + (dLDR - dLC))
+			work.FlashTiming.InterventionNS = clampNS(work.FlashTiming.InterventionNS + (dLDR - dLC))
 		}
+		// The reply leg tracks the request leg and the outbox tracks
+		// the inbox, so one report row each carries the pair.
 		cal.Report = append(cal.Report,
-			Adjustment{Param: "bus-request", Unit: "ns", Before: before.BusRequestNS, After: cal.Timing.BusRequestNS,
+			Adjustment{Param: "flash.bus_request_ns", Unit: "ns", Before: before.BusRequestNS, After: work.FlashTiming.BusRequestNS,
 				HWMetric: hwLat[proto.LocalClean], SimBefore: 0, SimAfter: simLC},
-			Adjustment{Param: "net-iface (in/out)", Unit: "ns", Before: before.InboxNS, After: cal.Timing.InboxNS,
+			Adjustment{Param: "flash.inbox_ns", Unit: "ns", Before: before.InboxNS, After: work.FlashTiming.InboxNS,
 				HWMetric: hwLat[proto.RemoteClean], SimBefore: 0, SimAfter: simRC},
-			Adjustment{Param: "intervention", Unit: "ns", Before: before.InterventionNS, After: cal.Timing.InterventionNS,
+			Adjustment{Param: "flash.intervention_ns", Unit: "ns", Before: before.InterventionNS, After: work.FlashTiming.InterventionNS,
 				HWMetric: hwLat[proto.LocalDirtyRemote], SimBefore: 0, SimAfter: simLDR},
 		)
 	}
+	cal.Deltas = param.Diff(cfg, work)
 	return cal, nil
 }
 
@@ -329,11 +360,6 @@ func clampNS(v float64) float64 {
 		return 0
 	}
 	return v
-}
-
-func applyTLB(cfg machine.Config, cycles uint32) machine.Config {
-	cfg.OS.TLBHandlerCycles = cycles
-	return cfg
 }
 
 // SimTLBCycles measures a simulator configuration's TLB-refill cost via

@@ -1,17 +1,32 @@
 package core_test
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"flashsim/internal/apps"
 	"flashsim/internal/core"
 	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
+	"flashsim/internal/param"
 	"flashsim/internal/proto"
 )
 
 func smallFFT(procs int) emitter.Program {
 	return apps.FFT(apps.FFTOpts{LogN: 12, Procs: procs, TLBBlocked: true, Prefetch: true})
+}
+
+// calTLBCycles extracts the calibrated TLB-refill cost from the delta
+// list (the calibration must have changed it for these tests to mean
+// anything).
+func calTLBCycles(t *testing.T, c core.Calibration) uint64 {
+	t.Helper()
+	v, ok := c.Value("os.tlb.handler_cycles")
+	if !ok {
+		t.Fatal("calibration did not adjust os.tlb.handler_cycles")
+	}
+	return v.(uint64)
 }
 
 func TestCalibratorFixesTLBCost(t *testing.T) {
@@ -23,13 +38,13 @@ func TestCalibratorFixesTLBCost(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.TLBHandlerCycles < 55 || c.TLBHandlerCycles > 75 {
-		t.Errorf("calibrated TLB handler = %d cycles, want ~65", c.TLBHandlerCycles)
+	if tlb := calTLBCycles(t, c); tlb < 55 || tlb > 75 {
+		t.Errorf("calibrated TLB handler = %d cycles, want ~65", tlb)
 	}
 	// Mipsy has blocking reads, so its independent-load throughput is
 	// already *slower* than hardware; the interface occupancy is
 	// correctly left off and its latency is absorbed into bus timing.
-	if c.L2Occupancy {
+	if c.Changed("l2.model_interface_occupancy") {
 		t.Error("occupancy should not be enabled for a blocking-read model")
 	}
 	for _, a := range c.Report {
@@ -46,14 +61,98 @@ func TestCalibratorEnablesOccupancyForMXS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c.TLBHandlerCycles < 55 || c.TLBHandlerCycles > 75 {
-		t.Errorf("calibrated TLB handler = %d cycles, want ~65 (from 35)", c.TLBHandlerCycles)
+	if tlb := calTLBCycles(t, c); tlb < 55 || tlb > 75 {
+		t.Errorf("calibrated TLB handler = %d cycles, want ~65 (from 35)", tlb)
 	}
-	if !c.L2Occupancy {
+	if v, ok := c.Value("l2.model_interface_occupancy"); !ok || v != true {
 		t.Error("calibration did not enable L2 interface occupancy for the out-of-order model")
 	}
 	for _, a := range c.Report {
 		t.Logf("adjust %v", a)
+	}
+}
+
+// deltaAsFloat renders a registry delta value numerically for
+// comparison against the float64 Adjustment log.
+func deltaAsFloat(t *testing.T, v any) float64 {
+	t.Helper()
+	switch x := v.(type) {
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case int64:
+		return float64(x)
+	case uint64:
+		return float64(x)
+	case float64:
+		return x
+	default:
+		t.Fatalf("unexpected delta value type %T", v)
+		return 0
+	}
+}
+
+// TestCalibrationRoundTripsThroughRegistry is the delta/report
+// consistency check: applying the deltas through the registry must land
+// every knob exactly where the Adjustment log says the fitting loop
+// left it, for both the TLB path (25/35 -> ~65) and the L2-occupancy
+// path.
+func TestCalibrationRoundTripsThroughRegistry(t *testing.T) {
+	ref := core.NewReference(4, true)
+	ref.Repeats = 2
+	cal := core.NewCalibrator(ref)
+	for _, cfg := range []machine.Config{
+		core.SimOSMipsy(4, 150, true), // TLB 25 -> ~65, occupancy stays off
+		core.SimOSMXS(4, true),        // TLB 35 -> ~65, occupancy turns on
+	} {
+		c, err := cal.Calibrate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuned := c.Apply(cfg)
+		if tuned.Name != cfg.Name+" (tuned)" {
+			t.Errorf("%s: Apply did not tag the name: %q", cfg.Name, tuned.Name)
+		}
+		// Every delta must be visible in the tuned config via the registry.
+		for _, d := range c.Deltas {
+			got, err := param.Get(&tuned, d.Path)
+			if err != nil {
+				t.Fatalf("%s: delta path %s not gettable: %v", cfg.Name, d.Path, err)
+			}
+			if got != d.After {
+				t.Errorf("%s: %s = %v after Apply, delta says %v", cfg.Name, d.Path, got, d.After)
+			}
+		}
+		// Every real adjustment in the report must appear as a delta
+		// with the same landing value, and no-change report lines
+		// (Before == After) must not.
+		for _, a := range c.Report {
+			v, changed := c.Value(a.Param)
+			if a.Before == a.After {
+				if changed {
+					t.Errorf("%s: report says %s unchanged but a delta exists", cfg.Name, a.Param)
+				}
+				continue
+			}
+			if !changed {
+				t.Errorf("%s: report adjusts %s but no delta records it", cfg.Name, a.Param)
+				continue
+			}
+			if got := deltaAsFloat(t, v); math.Abs(got-a.After) > 1e-9 {
+				t.Errorf("%s: %s delta lands at %v, report says %v", cfg.Name, a.Param, got, a.After)
+			}
+		}
+		// The rendered diff is the tuning report: each changed path on
+		// its own line.
+		diff := c.RenderDiff()
+		for _, d := range c.Deltas {
+			if !strings.Contains(diff, d.Path) {
+				t.Errorf("%s: rendered diff omits %s:\n%s", cfg.Name, d.Path, diff)
+			}
+		}
+		t.Logf("%s tuning diff:\n%s", cfg.Name, diff)
 	}
 }
 

@@ -84,7 +84,10 @@ func (s *Session) Table3() (Table3Data, string, error) {
 		proto.LocalClean, proto.LocalDirtyRemote, proto.RemoteClean,
 		proto.RemoteDirtyHome, proto.RemoteDirtyRemote,
 	}
-	untuned := core.SimOSMipsy(4, 150, true)
+	untuned, err := s.override(core.SimOSMipsy(4, 150, true))
+	if err != nil {
+		return d, "", err
+	}
 	calib, err := s.Calibrate(untuned)
 	if err != nil {
 		return d, "", err
@@ -115,7 +118,11 @@ func (s *Session) Table3() (Table3Data, string, error) {
 // Figure1 reproduces the initial uniprocessor comparison: untuned
 // simulators, applications blocked as originally recommended.
 func (s *Session) Figure1() (core.CompareResult, string, error) {
-	study := core.NewStudy(s.Ref, s.UntunedConfigs(1)...)
+	cfgs, err := s.UntunedConfigs(1)
+	if err != nil {
+		return core.CompareResult{}, "", err
+	}
+	study := core.NewStudy(s.Ref, cfgs...)
 	res, err := study.Compare(s.Scale.InitialApps(), 1)
 	if err != nil {
 		return res, "", err
@@ -127,7 +134,11 @@ func (s *Session) Figure1() (core.CompareResult, string, error) {
 // TLB-blocking fixes (FFT blocked for the TLB, radix 256 -> 32),
 // simulators still untuned.
 func (s *Session) Figure2() (core.CompareResult, string, error) {
-	study := core.NewStudy(s.Ref, s.UntunedConfigs(1)...)
+	cfgs, err := s.UntunedConfigs(1)
+	if err != nil {
+		return core.CompareResult{}, "", err
+	}
+	study := core.NewStudy(s.Ref, cfgs...)
 	res, err := study.Compare(s.Scale.FixedApps(), 1)
 	if err != nil {
 		return res, "", err
@@ -183,6 +194,10 @@ func (s *Session) Figure5() ([]core.Curve, string, error) {
 		core.SimOSMXS(1, true),
 		core.SimOSMipsy(1, 300, true),
 	} {
+		base, err := s.override(base)
+		if err != nil {
+			return nil, "", err
+		}
 		cal, err := s.Calibrate(base)
 		if err != nil {
 			return nil, "", err
@@ -212,6 +227,10 @@ func (s *Session) Figure6() ([]core.Curve, string, error) {
 		core.SimOSMipsy(1, 225, true),
 		core.SoloMipsy(1, 225, true),
 	} {
+		base, err := s.override(base)
+		if err != nil {
+			return nil, "", err
+		}
 		cal, err := s.Calibrate(base)
 		if err != nil {
 			return nil, "", err
@@ -240,7 +259,10 @@ func (s *Session) Figure7() ([]core.Curve, string, error) {
 	}
 	curves := []core.Curve{hwC}
 
-	base := core.SimOSMipsy(1, 225, true)
+	base, err := s.override(core.SimOSMipsy(1, 225, true))
+	if err != nil {
+		return nil, "", err
+	}
 	cal, err := s.Calibrate(base)
 	if err != nil {
 		return nil, "", err
@@ -249,7 +271,10 @@ func (s *Session) Figure7() ([]core.Curve, string, error) {
 	tuned.Name = "Tuned FlashLite"
 	untuned := base
 	untuned.Name = "Untuned FlashLite"
-	numa := core.WithNUMA(core.SimOSMipsy(1, 225, true))
+	numa, err := s.override(core.WithNUMA(core.SimOSMipsy(1, 225, true)))
+	if err != nil {
+		return nil, "", err
+	}
 	numa.Name = "NUMA"
 	for _, cfg := range []machine.Config{tuned, untuned, numa} {
 		c, err := ta.SimSpeedup(cfg, w, procs)
@@ -279,11 +304,19 @@ func (s *Session) ExperimentTLBCost() (TLBCostData, string, error) {
 		return d, "", err
 	}
 	d.HWCycles = snbench.TLBHandlerCycles(hwMeas.Runs[0], s.Ref.ConfigAt(1).ClockMHz, 0, 0, 0)
-	d.MipsyCycles, err = cal.SimTLBCycles(core.SimOSMipsy(1, 150, true))
+	mipsy, err := s.override(core.SimOSMipsy(1, 150, true))
 	if err != nil {
 		return d, "", err
 	}
-	d.MXSCycles, err = cal.SimTLBCycles(core.SimOSMXS(1, true))
+	mxs, err := s.override(core.SimOSMXS(1, true))
+	if err != nil {
+		return d, "", err
+	}
+	d.MipsyCycles, err = cal.SimTLBCycles(mipsy)
+	if err != nil {
+		return d, "", err
+	}
+	d.MXSCycles, err = cal.SimTLBCycles(mxs)
 	if err != nil {
 		return d, "", err
 	}
@@ -353,7 +386,10 @@ func (s *Session) ExperimentMulDiv() (MulDivData, string, error) {
 	if err != nil {
 		return d, "", err
 	}
-	base := core.SimOSMipsy(1, 225, true)
+	base, err := s.override(core.SimOSMipsy(1, 225, true))
+	if err != nil {
+		return d, "", err
+	}
 	cal, err := s.Calibrate(base)
 	if err != nil {
 		return d, "", err
@@ -406,7 +442,10 @@ func (s *Session) ExperimentDefects() (string, error) {
 	b.WriteString("Defect injection (execution time relative to defect-free simulator):\n")
 	for _, d := range core.KnownDefects() {
 		w := s.defectWorkload(d.WorkloadHint)
-		base := d.Baseline(1, true)
+		base, err := s.override(d.Baseline(1, true))
+		if err != nil {
+			return "", err
+		}
 		imp, err := core.MeasureDefect(d, base, w, 1)
 		if err != nil {
 			return "", err

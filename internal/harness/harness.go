@@ -115,6 +115,16 @@ type Session struct {
 	Ref   *core.Reference
 	Scale Scale
 
+	// Override, when set, rewrites every *simulator* configuration an
+	// experiment builds before it runs — the hook the CLIs use to route
+	// -config/-set parameter overrides into the studies. It is applied
+	// to untuned and pre-calibration configurations alike, and never to
+	// the hardware reference: overriding a simulator knob changes a
+	// prediction, the machine being predicted stays fixed. This is what
+	// lets `-set os.tlb.handler_cycles=65` reproduce the paper's X1
+	// correction with no code changes.
+	Override func(machine.Config) (machine.Config, error)
+
 	pool *runner.Pool
 	cals map[string]core.Calibration
 }
@@ -174,16 +184,44 @@ func (s *Session) Calibrate(cfg machine.Config) (core.Calibration, error) {
 	return cal, nil
 }
 
-// UntunedConfigs returns the seven study simulators at the given size.
-func (s *Session) UntunedConfigs(procs int) []machine.Config {
-	return core.StandardConfigs(procs, true)
+// override applies the session's parameter override to a simulator
+// configuration (identity when unset).
+func (s *Session) override(cfg machine.Config) (machine.Config, error) {
+	if s.Override == nil {
+		return cfg, nil
+	}
+	out, err := s.Override(cfg)
+	if err != nil {
+		return cfg, fmt.Errorf("overriding %s: %w", cfg.Name, err)
+	}
+	return out, nil
+}
+
+// UntunedConfigs returns the seven study simulators at the given size,
+// with any session override applied.
+func (s *Session) UntunedConfigs(procs int) ([]machine.Config, error) {
+	var out []machine.Config
+	for _, cfg := range core.StandardConfigs(procs, true) {
+		cfg, err := s.override(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cfg)
+	}
+	return out, nil
 }
 
 // TunedConfigs returns the seven study simulators after closing the
-// loop: each calibrated against the hardware reference.
+// loop: each calibrated against the hardware reference. Overrides are
+// applied before calibration — the tuning loop then corrects whatever
+// configuration the user actually asked for.
 func (s *Session) TunedConfigs(procs int) ([]machine.Config, error) {
+	cfgs, err := s.UntunedConfigs(procs)
+	if err != nil {
+		return nil, err
+	}
 	var out []machine.Config
-	for _, cfg := range core.StandardConfigs(procs, true) {
+	for _, cfg := range cfgs {
 		cal, err := s.Calibrate(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("calibrating %s: %w", cfg.Name, err)
@@ -191,6 +229,27 @@ func (s *Session) TunedConfigs(procs int) ([]machine.Config, error) {
 		out = append(out, cal.Apply(cfg))
 	}
 	return out, nil
+}
+
+// TuningDiffs renders each study simulator's calibration as a registry
+// diff — the untuned-to-tuned parameter changes, one block per
+// configuration. This is the human-readable form of closing the loop:
+// exactly which knobs moved, from what, to what.
+func (s *Session) TuningDiffs(procs int) (string, error) {
+	cfgs, err := s.UntunedConfigs(procs)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Simulator tuning (parameter corrections from closing the loop):\n")
+	for _, cfg := range cfgs {
+		cal, err := s.Calibrate(cfg)
+		if err != nil {
+			return "", fmt.Errorf("calibrating %s: %w", cfg.Name, err)
+		}
+		fmt.Fprintf(&b, "%s:\n%s", cfg.Name, cal.RenderDiff())
+	}
+	return b.String(), nil
 }
 
 // renderRelTable renders a Figures 1–4 style table: workloads down,

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"flashsim/internal/harness"
+	"flashsim/internal/machine"
+	"flashsim/internal/param"
 	"flashsim/internal/proto"
 )
 
@@ -101,6 +103,56 @@ func TestWorkloadFactories(t *testing.T) {
 		prog := w.Make(2)
 		if prog.Threads != 2 {
 			t.Errorf("%s: threads %d", w.Name, prog.Threads)
+		}
+	}
+}
+
+// TestOverrideReproducesTLBCorrection is the paper's X1 fix as a pure
+// parameter override: forcing os.tlb.handler_cycles=65 on every
+// simulator makes the untuned models measure the hardware's TLB-refill
+// cost, with no code changes.
+func TestOverrideReproducesTLBCorrection(t *testing.T) {
+	s := harness.NewSession(harness.ScaleQuick)
+	s.Override = func(cfg machine.Config) (machine.Config, error) {
+		if cfg.OS.TLBHandlerCycles == 0 {
+			return cfg, nil // Solo keeps no TLB; nothing to correct
+		}
+		err := param.SetString(&cfg, "os.tlb.handler_cycles", "65")
+		return cfg, err
+	}
+	d, _, err := s.ExperimentTLBCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]float64{"Mipsy": d.MipsyCycles, "MXS": d.MXSCycles} {
+		if got < d.HWCycles-10 || got > d.HWCycles+10 {
+			t.Errorf("%s with override measures %.1f cycles, hardware %.1f", name, got, d.HWCycles)
+		}
+	}
+
+	// The override feeds the untuned study configs too.
+	cfgs, err := s.UntunedConfigs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range cfgs {
+		if cfg.OS.TLBHandlerCycles != 0 && cfg.OS.TLBHandlerCycles != 65 {
+			t.Errorf("%s: override not applied (tlb=%d)", cfg.Name, cfg.OS.TLBHandlerCycles)
+		}
+	}
+}
+
+// TestTuningDiffsRender checks that the registry-diff rendering names
+// the corrected knobs by dotted path.
+func TestTuningDiffsRender(t *testing.T) {
+	s := harness.NewSession(harness.ScaleQuick)
+	out, err := s.TuningDiffs(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"os.tlb.handler_cycles", "SimOS-Mipsy 150MHz:", "Solo-Mipsy"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tuning diff missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -1,0 +1,125 @@
+package param_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/param"
+)
+
+// excludedFields lists every leaf field reachable from machine.Config
+// that is deliberately NOT a registered parameter, with the reason. A
+// new Config field that is neither registered nor listed here fails
+// TestEveryConfigFieldIsRegisteredOrExcluded, so no knob can silently
+// bypass the registry.
+var excludedFields = map[string]string{
+	"Name":       "display label, not a parameter; excluded from fingerprints on purpose",
+	"L1D.Name":   "display label on the cache geometry",
+	"L2.Name":    "display label on the cache geometry",
+	"NUMA.Nodes": "derived: machine.New forces it to Procs",
+}
+
+// leafFields walks a struct type and returns every leaf field path.
+// Pointers are followed by type (nil-ness is a canonicalization concern
+// the registry handles, not a structural one); arrays contribute one
+// path per index.
+func leafFields(t reflect.Type, prefix string, out *[]string) {
+	switch t.Kind() {
+	case reflect.Pointer:
+		leafFields(t.Elem(), prefix, out)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			p := f.Name
+			if prefix != "" {
+				p = prefix + "." + f.Name
+			}
+			leafFields(f.Type, p, out)
+		}
+	case reflect.Array:
+		for i := 0; i < t.Len(); i++ {
+			leafFields(t.Elem(), fmt.Sprintf("%s[%d]", prefix, i), out)
+		}
+	default:
+		*out = append(*out, prefix)
+	}
+}
+
+func TestEveryConfigFieldIsRegisteredOrExcluded(t *testing.T) {
+	var leaves []string
+	leafFields(reflect.TypeOf(machine.Config{}), "", &leaves)
+	if len(leaves) < 30 {
+		t.Fatalf("walk found only %d leaves; the reflection walk is broken", len(leaves))
+	}
+
+	registered := make(map[string]string) // Go field path -> registry path
+	for _, p := range param.All() {
+		if p.Field == "" {
+			t.Errorf("param %s has no Field annotation", p.Path)
+			continue
+		}
+		if prev, dup := registered[p.Field]; dup {
+			t.Errorf("field %s is covered by both %s and %s", p.Field, prev, p.Path)
+		}
+		registered[p.Field] = p.Path
+	}
+
+	seen := make(map[string]bool)
+	for _, leaf := range leaves {
+		seen[leaf] = true
+		_, isReg := registered[leaf]
+		_, isExcl := excludedFields[leaf]
+		switch {
+		case isReg && isExcl:
+			t.Errorf("field %s is both registered and excluded", leaf)
+		case !isReg && !isExcl:
+			t.Errorf("machine.Config field %s is neither registered in internal/param nor on the exclusion list — new knobs must go through the registry", leaf)
+		}
+	}
+	// The reverse direction catches renames: a registration or
+	// exclusion pointing at a field that no longer exists.
+	for field, path := range registered {
+		if !seen[field] {
+			t.Errorf("param %s claims field %s, which does not exist in machine.Config", path, field)
+		}
+	}
+	for field := range excludedFields {
+		if !seen[field] {
+			t.Errorf("exclusion list names field %s, which does not exist in machine.Config", field)
+		}
+	}
+}
+
+// TestDeficiencyTableKnobsResolve pins the DESIGN.md §3 deficiency
+// table to registry paths: every knob the paper's error taxonomy names
+// must resolve by dotted path.
+func TestDeficiencyTableKnobsResolve(t *testing.T) {
+	knobs := []string{
+		"cpu.model_instr_latency",      // Mipsy: no instruction latencies
+		"os.tlb.handler_cycles",        // TLB miss cost 25/35 vs real 65
+		"l2.model_interface_occupancy", // no secondary-cache interface occupancy
+		"l2.transfer_ns",               // ... and its fitted occupancy
+		"mxs.model_address_interlocks", // MXS: no address interlocks
+		"mxs.bug_fast_issue",           // MXS fast-issue pipeline bug
+		"mxs.bug_cache_op_stall",       // MXS CACHE-instruction stall bug
+		"os.kind",                      // Solo: no TLB / naive allocation
+		"flash.bus_request_ns",         // untuned FlashLite timing
+		"flash.router_ns",
+		"flash.inbox_ns",
+		"flash.outbox_ns",
+		"flash.intervention_ns",
+		"mem.kind", // NUMA: no occupancy/contention
+	}
+	cfg := machine.Base(4, true)
+	for _, path := range knobs {
+		if _, ok := param.Lookup(path); !ok {
+			t.Errorf("deficiency-table knob %s is not registered", path)
+			continue
+		}
+		if _, err := param.Get(&cfg, path); err != nil {
+			t.Errorf("Get(%s): %v", path, err)
+		}
+	}
+}

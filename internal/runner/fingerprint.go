@@ -8,13 +8,28 @@ import (
 
 	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
+	"flashsim/internal/param"
 )
 
 // Fingerprint returns the content-addressed store key of one run: a
-// hex SHA-256 over the canonical JSON encoding of the full machine
-// configuration (processor count and seed included) and the workload
+// hex SHA-256 over the machine configuration's canonical parameter
+// encoding (param.Canonical — every registered knob by dotted path,
+// keys sorted, tagged with param.SchemaVersion) and the workload
 // identity. Two runs share a fingerprint exactly when machine.Run is
 // guaranteed to produce the same Result for both.
+//
+// Hashing the canonical encoding rather than the raw struct gives the
+// store three safety properties the old encoding lacked:
+//
+//   - configs that differ only in display labels (Config.Name) or in
+//     nil-vs-explicit-default pointer fields (Config.NUMA,
+//     Config.MagicTable) hash identically, so semantically identical
+//     runs are never recomputed;
+//   - the hash is independent of Go field order and of struct layout
+//     churn that does not change the registered parameter surface;
+//   - the embedded schema version changes whenever the parameter
+//     surface changes incompatibly, so stale on-disk caches from an
+//     older build self-invalidate instead of serving wrong results.
 //
 // The workload identity is Program.FullName() plus the thread count;
 // the apps and snbench constructors encode their parameterization in
@@ -26,13 +41,13 @@ func Fingerprint(cfg machine.Config, prog emitter.Program) string {
 	h := sha256.New()
 	enc := json.NewEncoder(h)
 	err := enc.Encode(struct {
-		Config   machine.Config
+		Config   json.RawMessage
 		Workload string
 		Threads  int
-	}{cfg, prog.FullName(), prog.Threads})
+	}{param.Canonical(cfg), prog.FullName(), prog.Threads})
 	if err != nil {
-		// machine.Config is plain data; an encoding failure is a
-		// programming error in a new Config field, not a runtime
+		// The payload is a pre-encoded JSON blob plus plain data; an
+		// encoding failure is a programming error, not a runtime
 		// condition.
 		panic(fmt.Sprintf("runner: fingerprint encoding failed: %v", err))
 	}

@@ -185,6 +185,9 @@ func (p *Pool) runOne(ctx context.Context, j Job) (o Outcome) {
 	if p.store != nil {
 		key = Fingerprint(cfg, j.Prog)
 		if res, ok := p.store.Get(key); ok {
+			// The fingerprint is Name-blind, so a hit may come from a
+			// run under a different label; re-stamp it with ours.
+			res.Config = cfg.Name
 			p.hits.add(1)
 			return Outcome{Result: res, Cached: true}
 		}

@@ -9,6 +9,9 @@ import (
 
 	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
+	"flashsim/internal/magic"
+	"flashsim/internal/memsys"
+	"flashsim/internal/param"
 	"flashsim/internal/runner"
 )
 
@@ -219,5 +222,66 @@ func TestStatsString(t *testing.T) {
 	}
 	if s.MeanRunTime() <= 0 {
 		t.Error("mean run time should be positive")
+	}
+}
+
+func TestFingerprintIsCanonical(t *testing.T) {
+	base := runner.Job{Config: testCfg(2), Prog: tinyProg(1, 100), Seed: 1}
+
+	// Display labels are not semantics: renamed configs share a key.
+	renamed := base
+	renamed.Config.Name = "Tuned FlashLite"
+	if base.Fingerprint() != renamed.Fingerprint() {
+		t.Error("Name-only change must not change the fingerprint")
+	}
+
+	// nil and explicitly materialized default pointer fields are the
+	// same simulator.
+	materialized := base
+	nd := memsys.DefaultNUMAConfig(materialized.Config.Procs)
+	materialized.Config.NUMA = &nd
+	mt := magic.RTLOccupancies()
+	materialized.Config.MagicTable = &mt
+	if base.Fingerprint() != materialized.Fingerprint() {
+		t.Error("nil-vs-default pointer fields must not change the fingerprint")
+	}
+
+	// A semantic change through either form does.
+	changed := materialized
+	nd2 := nd
+	nd2.HopNS += 5
+	changed.Config.NUMA = &nd2
+	if base.Fingerprint() == changed.Fingerprint() {
+		t.Error("NUMA parameter change must change the fingerprint")
+	}
+
+	// The schema version is part of the key (stale caches from older
+	// layouts must miss).
+	if !strings.Contains(string(param.Canonical(base.Config)), fmt.Sprintf(`"schema":%d`, param.SchemaVersion)) {
+		t.Error("canonical payload must carry the schema version")
+	}
+}
+
+func TestCacheHitRestampsConfigLabel(t *testing.T) {
+	store, err := runner.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := runner.Job{Config: testCfg(1), Prog: tinyProg(1, 200), Seed: 1}
+	pool := runner.New(1, store)
+	if _, err := pool.Run(context.Background(), []runner.Job{job}); err != nil {
+		t.Fatal(err)
+	}
+	renamed := job
+	renamed.Config.Name = "same machine, new label"
+	res, err := pool.Run(context.Background(), []runner.Job{renamed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := pool.Stats(); st.CacheHits != 1 {
+		t.Fatalf("rename should hit the cache: %+v", st)
+	}
+	if res[0].Config != renamed.Config.Name {
+		t.Errorf("cached result label = %q, want %q", res[0].Config, renamed.Config.Name)
 	}
 }
