@@ -48,6 +48,11 @@ func main() {
 	if err := cf.Finish(); err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := cf.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	var cfg machine.Config
 	switch *simName {

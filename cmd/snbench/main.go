@@ -35,6 +35,11 @@ func main() {
 	if err := cf.Finish(); err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := cf.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	pool, _, err := cf.Pool()
 	if err != nil {

@@ -33,6 +33,11 @@ func main() {
 	if err := cf.Finish(); err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := cf.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
 
 	scale := harness.ScaleFull
 	if *quick {

@@ -1,9 +1,10 @@
 // Package cliutil is the shared command-line plumbing of the cmd/
-// front ends. Every CLI gets the same four knobs with one canonical
+// front ends. Every CLI gets the same knobs with one canonical
 // description each — -jobs and -cache-dir (the runner pool), -config
 // and -set (machine-parameter overrides through the internal/param
-// registry) — plus -list-params for registry introspection, instead of
-// five drifting copies of the same flag declarations.
+// registry), -cpuprofile/-memprofile/-trace (pprof and execution-trace
+// artifacts) — plus -list-params for registry introspection, instead
+// of five drifting copies of the same flag declarations.
 package cliutil
 
 import (
@@ -11,6 +12,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 
 	"flashsim/internal/machine"
@@ -26,6 +29,9 @@ const (
 	configUsage     = "apply machine-parameter overrides from this JSON file (a param snapshot or a bare {\"path\": value} object)"
 	setUsage        = "override one machine parameter as path=value (repeatable; see -list-params)"
 	listParamsUsage = "print the tunable-parameter registry and exit"
+	cpuProfileUsage = "write a CPU profile to this file (go tool pprof)"
+	memProfileUsage = "write an allocation profile to this file on exit (go tool pprof)"
+	traceUsage      = "write a runtime execution trace to this file (go tool trace)"
 )
 
 // Flags carries the shared flag values after flag.Parse.
@@ -34,10 +40,16 @@ type Flags struct {
 	CacheDir   string
 	ConfigFile string
 	ListParams bool
+	CPUProfile string
+	MemProfile string
+	TraceFile  string
 
 	sets     stringList
 	settings []param.Setting
 	snapshot *param.Snapshot
+
+	cpuFile   *os.File
+	traceFile *os.File
 }
 
 // stringList is a repeatable string flag.
@@ -57,11 +69,14 @@ func Register() *Flags { return RegisterOn(flag.CommandLine) }
 // RegisterOn installs the shared flags on fs.
 func RegisterOn(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
-	fs.IntVar(&f.Jobs, "jobs", runtime.GOMAXPROCS(0), jobsUsage)
+	fs.IntVar(&f.Jobs, "jobs", runner.DefaultWorkers(), jobsUsage)
 	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirUsage)
 	fs.StringVar(&f.ConfigFile, "config", "", configUsage)
 	fs.Var(&f.sets, "set", setUsage)
 	fs.BoolVar(&f.ListParams, "list-params", false, listParamsUsage)
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", cpuProfileUsage)
+	fs.StringVar(&f.MemProfile, "memprofile", "", memProfileUsage)
+	fs.StringVar(&f.TraceFile, "trace", "", traceUsage)
 	return f
 }
 
@@ -99,6 +114,73 @@ func (f *Flags) Finish() error {
 			return fmt.Errorf("-set %s: %w", raw, err)
 		}
 		f.settings = append(f.settings, s)
+	}
+	return f.startProfiling()
+}
+
+// startProfiling opens the -cpuprofile and -trace sinks. The matching
+// Close writes -memprofile and stops both; mains defer it right after
+// Finish.
+func (f *Flags) startProfiling() error {
+	if f.CPUProfile != "" {
+		fh, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(fh); err != nil {
+			fh.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		f.cpuFile = fh
+	}
+	if f.TraceFile != "" {
+		fh, err := os.Create(f.TraceFile)
+		if err != nil {
+			f.stopCPUProfile()
+			return fmt.Errorf("-trace: %w", err)
+		}
+		if err := trace.Start(fh); err != nil {
+			fh.Close()
+			f.stopCPUProfile()
+			return fmt.Errorf("-trace: %w", err)
+		}
+		f.traceFile = fh
+	}
+	return nil
+}
+
+func (f *Flags) stopCPUProfile() {
+	if f.cpuFile == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	f.cpuFile.Close()
+	f.cpuFile = nil
+}
+
+// Close finalizes the profiling artifacts: it stops the CPU profile and
+// execution trace and writes the -memprofile heap snapshot (after a GC,
+// so it reflects live steady-state memory, the figure the allocation
+// regression tests pin). Safe to call when no profiling flag was given.
+// Error paths that exit through log.Fatal skip it, which loses at most
+// a partial profile.
+func (f *Flags) Close() error {
+	f.stopCPUProfile()
+	if f.traceFile != nil {
+		trace.Stop()
+		f.traceFile.Close()
+		f.traceFile = nil
+	}
+	if f.MemProfile != "" {
+		fh, err := os.Create(f.MemProfile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer fh.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(fh, 0); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
 	}
 	return nil
 }

@@ -34,6 +34,16 @@ const BatchSize = 2048
 // chanDepth is the number of in-flight batches per thread.
 const chanDepth = 8
 
+// poolSize is the number of instruction-batch buffers per thread. The
+// buffers circulate: Thread fills one, sends it on the data channel,
+// and takes its next from the free channel, which the Reader refills as
+// it finishes consuming each batch. chanDepth can be in flight, one is
+// being filled, and the slack buffer keeps the producer from blocking
+// on the Reader's hand-off in steady state — so a billion-instruction
+// run reuses this fixed set of slabs instead of allocating one per
+// send.
+const poolSize = chanDepth + 1
+
 // maxDepDistance caps encoded dependence distances; anything further
 // back than this is out of every model's window and irrelevant.
 const maxDepDistance = 1 << 20
@@ -56,6 +66,7 @@ type Thread struct {
 
 	coord *Coordinator
 	ch    chan []isa.Instr
+	free  chan []isa.Instr // recycled batch buffers from the Reader
 	abort <-chan struct{}
 	buf   []isa.Instr
 	count uint64 // instructions emitted so far
@@ -96,10 +107,18 @@ func (t *Thread) flush() {
 	if len(t.buf) == 0 {
 		return
 	}
-	batch := t.buf
-	t.buf = make([]isa.Instr, 0, BatchSize)
 	select {
-	case t.ch <- batch:
+	case t.ch <- t.buf:
+	case <-t.abort:
+		panic(abortPanic{})
+	}
+	// Take the next slab from the recycling pool. The Reader returns
+	// each consumed buffer before blocking for the next batch, so this
+	// receive cannot deadlock against a live consumer; an abandoned
+	// consumer is handled by the abort arm.
+	select {
+	case b := <-t.free:
+		t.buf = b[:0]
 	case <-t.abort:
 		panic(abortPanic{})
 	}
@@ -305,6 +324,7 @@ func (b *cyclicBarrier) release() {
 // Reader consumes one thread's instruction stream.
 type Reader struct {
 	ch   <-chan []isa.Instr
+	free chan<- []isa.Instr // consumed buffers go back to the Thread
 	buf  []isa.Instr
 	pos  int
 	done bool
@@ -316,6 +336,18 @@ func (r *Reader) Next() (in isa.Instr, ok bool) {
 	if r.pos >= len(r.buf) {
 		if r.done {
 			return isa.Instr{}, false
+		}
+		if r.buf != nil {
+			// Recycle the consumed batch before blocking for the next
+			// one, so the producer always has a slab to fill. The pool
+			// channel has room for every buffer in circulation, so this
+			// send never blocks; the default arm only covers readers
+			// fed outside Start (tests).
+			select {
+			case r.free <- r.buf[:0]:
+			default:
+			}
+			r.buf = nil
 		}
 		batch, open := <-r.ch
 		if !open {
@@ -389,12 +421,20 @@ func Start(nthreads int, body func(t *Thread)) *Streams {
 	}
 	for i := 0; i < nthreads; i++ {
 		ch := make(chan []isa.Instr, chanDepth)
-		s.Readers[i] = &Reader{ch: ch}
+		// The batch pool: poolSize slabs per thread, allocated once here
+		// and recycled through free for the life of the stream. One
+		// starts in the Thread's hands; the rest wait in free.
+		free := make(chan []isa.Instr, poolSize)
+		for j := 0; j < poolSize-1; j++ {
+			free <- make([]isa.Instr, 0, BatchSize)
+		}
+		s.Readers[i] = &Reader{ch: ch, free: free}
 		t := &Thread{
 			ID:    i,
 			N:     nthreads,
 			coord: s.coord,
 			ch:    ch,
+			free:  free,
 			abort: s.abortCh,
 			buf:   make([]isa.Instr, 0, BatchSize),
 			rng:   0x9E3779B97F4A7C15 ^ (uint64(i+1) * 0xBF58476D1CE4E5B9),

@@ -1,0 +1,94 @@
+package emitter
+
+import (
+	"testing"
+
+	"flashsim/internal/isa"
+)
+
+// TestBatchBuffersAreRecycled pins the slab pool: a stream long enough
+// to cycle the pool many times must keep reusing the same backing
+// arrays rather than allocating one per send.
+func TestBatchBuffersAreRecycled(t *testing.T) {
+	const batches = 64 // well past poolSize circulations
+	s := Start(1, func(th *Thread) { th.IntOps(batches * BatchSize) })
+	rd := s.Readers[0]
+	seen := map[*isa.Instr]int{} // first-element pointer identifies a slab
+	n := 0
+	for {
+		if _, ok := rd.Next(); !ok {
+			break
+		}
+		n++
+		seen[&rd.buf[0]]++
+	}
+	s.Wait()
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n != batches*BatchSize {
+		t.Fatalf("consumed %d instructions, want %d", n, batches*BatchSize)
+	}
+	if len(seen) > poolSize {
+		t.Fatalf("saw %d distinct batch buffers over %d batches; pool of %d is not recycling",
+			len(seen), batches, poolSize)
+	}
+}
+
+// TestEmitterSteadyStateZeroAlloc pins the tentpole invariant on the
+// emit/consume cycle: once the pool is primed, Thread.emit and
+// Reader.Next allocate nothing. The emitting goroutine's channel parks
+// can transiently allocate scheduler bookkeeping (sudog caching), so
+// the bound is "essentially zero per instruction", not a hard zero per
+// round.
+func TestEmitterSteadyStateZeroAlloc(t *testing.T) {
+	const perRound = 4 * BatchSize
+	const rounds = 16
+	s := Start(1, func(th *Thread) {
+		// Enough instructions for warmup plus every measured round.
+		th.IntOps(perRound * (rounds + 4))
+	})
+	defer s.Abort()
+	rd := s.Readers[0]
+	for i := 0; i < 2*perRound; i++ { // warm the pool to steady state
+		if _, ok := rd.Next(); !ok {
+			t.Fatal("stream ended during warmup")
+		}
+	}
+	avg := testing.AllocsPerRun(rounds-1, func() {
+		for i := 0; i < perRound; i++ {
+			if _, ok := rd.Next(); !ok {
+				t.Fatal("stream ended during measurement")
+			}
+		}
+	})
+	// perRound instructions and 4 batch hand-offs per round: even one
+	// alloc per *batch* would show up as >= 4.
+	if avg > 2 {
+		t.Fatalf("steady-state consume allocates %.1f allocs per %d instructions, want ~0", avg, perRound)
+	}
+}
+
+// BenchmarkEmitterThroughput measures the raw produce/consume rate of
+// one thread's instruction stream in steady state — the figure the
+// batch-recycling change moves. Allocations are reported; steady state
+// must be 0 allocs/op.
+func BenchmarkEmitterThroughput(b *testing.B) {
+	s := Start(1, func(th *Thread) {
+		for {
+			th.IntOps(BatchSize)
+		}
+	})
+	defer s.Abort()
+	rd := s.Readers[0]
+	for i := 0; i < 2*poolSize*BatchSize; i++ { // prime the pool
+		rd.Next()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := rd.Next(); !ok {
+			b.Fatal("stream ended")
+		}
+	}
+}

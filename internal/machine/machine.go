@@ -138,11 +138,18 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 	}
 
 	for _, n := range m.nodes {
-		n := n
-		m.queue.Schedule(0, int32(n.id), func(now sim.Ticks) { m.step(n, now) })
+		m.queue.ScheduleFn(0, int32(n.id), m, uint64(n.id))
 	}
 	const eventCap = 2_000_000_000 // runaway guard, far above any real run
-	m.queue.Run(eventCap)
+	for fired := 0; fired < eventCap; {
+		// Batch all same-tick dispatches (the all-nodes-at-zero start,
+		// barrier releases) in one heap pass.
+		n := m.queue.StepBatch()
+		if n == 0 {
+			break
+		}
+		fired += n
+	}
 
 	if err := streams.Err(); err != nil {
 		return Result{}, fmt.Errorf("machine %q: %w", cfg.Name, err)
@@ -157,6 +164,13 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 	return m.collect(), nil
 }
 
+// HandleEvent implements sim.Handler: arg is a node id. All hot-path
+// scheduling goes through this one pre-bound handler so the event queue
+// recycles events instead of allocating a closure per schedule.
+func (m *Machine) HandleEvent(now sim.Ticks, arg uint64) {
+	m.step(m.nodes[arg], now)
+}
+
 // step runs one scheduling slice of a node's processor.
 func (m *Machine) step(n *node, now sim.Ticks) {
 	out := n.core.Run(now)
@@ -166,7 +180,7 @@ func (m *Machine) step(n *node, now sim.Ticks) {
 		if at < now {
 			at = now
 		}
-		m.queue.Schedule(at, int32(n.id), func(t sim.Ticks) { m.step(n, t) })
+		m.queue.ScheduleFn(at, int32(n.id), m, uint64(n.id))
 	case cpu.Finished:
 		m.finishTimes[n.id] = out.Time
 		m.finished++
@@ -180,7 +194,7 @@ func (m *Machine) resume(n *node, t sim.Ticks, now sim.Ticks) {
 	if t < now {
 		t = now
 	}
-	m.queue.Schedule(t, int32(n.id), func(tt sim.Ticks) { m.step(n, tt) })
+	m.queue.ScheduleFn(t, int32(n.id), m, uint64(n.id))
 }
 
 // syncPA synthesizes the physical line address backing a lock or

@@ -9,10 +9,20 @@ package proto
 // that node, and correctness is preserved by the requester revalidating;
 // here we model the reclaim as dropping the list head, counting the
 // event).
+// The link arrays grow on demand up to the configured pool size rather
+// than being allocated up front: the default pool is 2^20 links but a
+// run's high-water mark is typically a few sharers per line, and a
+// directory is built per machine run, so eager allocation dominated the
+// run loop's memory traffic. Growth is index-stable (links are only
+// appended) and allocation order is unchanged — a released link is
+// reused LIFO exactly as before, and a fresh link always gets the
+// smallest never-used index, which is the order the eager free list
+// handed them out.
 type PointerStore struct {
 	node    []int32
 	next    []int32
-	free    int32 // head of free list
+	limit   int   // pool size: links never exceed this
+	free    int32 // head of free list (released links only)
 	inUse   int
 	highWtr int
 	reclaim uint64
@@ -23,13 +33,7 @@ func NewPointerStore(n int) *PointerStore {
 	if n <= 0 {
 		n = 1
 	}
-	s := &PointerStore{node: make([]int32, n), next: make([]int32, n)}
-	for i := 0; i < n; i++ {
-		s.next[i] = int32(i + 1)
-	}
-	s.next[n-1] = -1
-	s.free = 0
-	return s
+	return &PointerStore{limit: n, free: -1}
 }
 
 // Add prepends node to the list at head, returning the new head. Adding
@@ -38,7 +42,15 @@ func (s *PointerStore) Add(head int32, node int) int32 {
 	if s.Contains(head, node) {
 		return head
 	}
-	if s.free < 0 {
+	l := s.free
+	switch {
+	case l >= 0:
+		s.free = s.next[l]
+	case len(s.node) < s.limit:
+		l = int32(len(s.node))
+		s.node = append(s.node, 0)
+		s.next = append(s.next, 0)
+	default:
 		// Pool exhausted: reclaim the link at the current head (drop
 		// one sharer from this very list, like the real protocol's
 		// pointer reclamation).
@@ -49,8 +61,6 @@ func (s *PointerStore) Add(head int32, node int) int32 {
 		}
 		return -1
 	}
-	l := s.free
-	s.free = s.next[l]
 	s.node[l] = int32(node)
 	s.next[l] = head
 	s.inUse++
@@ -72,7 +82,13 @@ func (s *PointerStore) Contains(head int32, node int) bool {
 
 // Collect returns the nodes on the list at head.
 func (s *PointerStore) Collect(head int32) []int {
-	var out []int
+	return s.CollectInto(head, nil)
+}
+
+// CollectInto appends the nodes on the list at head to out and returns
+// the extended slice, so hot callers can reuse one scratch buffer
+// instead of allocating per call.
+func (s *PointerStore) CollectInto(head int32, out []int) []int {
 	for l := head; l >= 0; l = s.next[l] {
 		out = append(out, int(s.node[l]))
 	}

@@ -122,7 +122,9 @@ type WriteResult struct {
 	// Owner is the previous dirty owner to invalidate+fetch from.
 	Owner int
 	// Invalidate lists the sharer nodes (excluding the requester) that
-	// must receive invalidations.
+	// must receive invalidations. The slice aliases a scratch buffer
+	// owned by the Directory and is valid only until the next Write
+	// call; callers consume it immediately and must not retain it.
 	Invalidate []int
 }
 
@@ -133,6 +135,7 @@ type Directory struct {
 	store   *PointerStore
 	entries map[uint64]*entry
 	stats   DirStats
+	inval   []int // scratch backing WriteResult.Invalidate
 }
 
 type entry struct {
@@ -260,11 +263,13 @@ func (d *Directory) Write(line uint64, home, requester int) WriteResult {
 	d.stats.Writes++
 	res := WriteResult{Owner: -1}
 	res.Case = Classify(requester, home, e.state, int(e.owner), d.store.Contains(e.head, requester))
+	d.inval = d.inval[:0]
 	switch e.state {
 	case DirDirty:
 		if int(e.owner) != requester {
 			res.Owner = int(e.owner)
-			res.Invalidate = []int{int(e.owner)}
+			d.inval = append(d.inval, int(e.owner))
+			res.Invalidate = d.inval
 		} else {
 			// The requester already owns the line dirty (a
 			// re-acquire after an uncached synchronization write):
@@ -272,11 +277,12 @@ func (d *Directory) Write(line uint64, home, requester int) WriteResult {
 			res.Case = Upgrade
 		}
 	case DirShared:
-		for _, s := range d.store.Collect(e.head) {
-			if s != requester {
-				res.Invalidate = append(res.Invalidate, s)
+		for l := e.head; l >= 0; l = d.store.next[l] {
+			if s := int(d.store.node[l]); s != requester {
+				d.inval = append(d.inval, s)
 			}
 		}
+		res.Invalidate = d.inval
 	}
 	d.stats.Invalidations += uint64(len(res.Invalidate))
 	e.head = d.store.Free(e.head)

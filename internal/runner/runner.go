@@ -64,11 +64,27 @@ type Outcome struct {
 	Cached bool
 }
 
+// defaultWorkers caches the one runtime.NumCPU lookup the package ever
+// makes (the call walks the OS affinity mask); every Pool that asks for
+// "all cores" shares it.
+var defaultWorkers = runtime.NumCPU()
+
+// DefaultWorkers returns the worker count a Pool resolves to when none
+// is given: the machine's CPU count, looked up once at init.
+func DefaultWorkers() int { return defaultWorkers }
+
 // Pool executes batches of Jobs on a bounded set of workers. A Pool is
 // safe for concurrent use; its zero worker count resolves to
-// runtime.GOMAXPROCS(0). The pool is stateless apart from its optional
-// Store and its running Stats, so one pool can serve every experiment
-// in a process (and should, so the cache is shared).
+// DefaultWorkers. The pool is stateless apart from its optional Store
+// and its running Stats, so one pool can serve every experiment in a
+// process (and should, so the cache is shared).
+//
+// Concurrent jobs never share simulation state: each machine.Run builds
+// its own event queue, and the queue's event free list (internal/sim)
+// is per-queue, so pooled events are recycled strictly within one run —
+// a worker goroutine inherits nothing from events fired by another
+// run's queue. TestConcurrentRunsShareNoQueueState pins this under the
+// race detector.
 type Pool struct {
 	workers int
 	store   *Store
@@ -82,11 +98,11 @@ type Pool struct {
 }
 
 // New returns a pool with the given concurrency. workers <= 0 selects
-// runtime.GOMAXPROCS(0); workers == 1 is strictly serial. store may be
-// nil to disable memoization.
+// DefaultWorkers; workers == 1 is strictly serial. store may be nil to
+// disable memoization.
 func New(workers int, store *Store) *Pool {
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = defaultWorkers
 	}
 	return &Pool{workers: workers, store: store}
 }

@@ -69,6 +69,34 @@ func TestResultsAreInSubmissionOrderAndWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// TestConcurrentRunsShareNoQueueState pins the concurrency contract
+// documented on Pool: the event free list in internal/sim is per-queue,
+// so machines running side by side on pool workers recycle events
+// strictly within their own run. Identical jobs executed concurrently
+// must be bit-identical to the same jobs run serially, and the race
+// detector (CI runs this package under -race) catches any mutable
+// queue state leaking between runs.
+func TestConcurrentRunsShareNoQueueState(t *testing.T) {
+	if runner.DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers() = %d, want >= 1", runner.DefaultWorkers())
+	}
+	job := runner.Job{Config: testCfg(2), Prog: tinyProg(2, 2000), Seed: 7}
+	jobs := []runner.Job{job, job, job, job}
+	serial := runner.New(1, nil).RunAll(context.Background(), jobs)
+	concurrent := runner.New(len(jobs), nil).RunAll(context.Background(), jobs)
+	for i := range jobs {
+		if serial[i].Err != nil {
+			t.Fatalf("serial run %d: %v", i, serial[i].Err)
+		}
+		if concurrent[i].Err != nil {
+			t.Fatalf("concurrent run %d: %v", i, concurrent[i].Err)
+		}
+		if !reflect.DeepEqual(serial[i].Result, concurrent[i].Result) {
+			t.Errorf("run %d: concurrent result differs from serial", i)
+		}
+	}
+}
+
 func TestPanicFailsTheJobNotTheProcess(t *testing.T) {
 	bad := runner.Job{Config: testCfg(1), Prog: emitter.Program{
 		Name:    "runner-test",

@@ -3,18 +3,40 @@ package sim
 // Event is a scheduled callback. Events fire in (At, Prio, Seq) order,
 // which makes simulations deterministic regardless of insertion order:
 // Seq is assigned monotonically by the queue at insertion.
+//
+// Events come in two forms. Schedule binds a closure and returns a
+// handle the caller may Cancel or Reschedule; those events are owned by
+// the caller and are never recycled. ScheduleFn binds a pre-registered
+// Handler plus a uint64 argument and returns no handle; those events
+// are owned by the queue and return to its free list the moment they
+// fire, so steady-state scheduling performs zero heap allocations.
 type Event struct {
 	At   Ticks
 	Prio int32 // lower fires first among equal times (e.g. node id)
 	Fn   func(now Ticks)
 
-	seq   uint64
-	index int // heap index, -1 when not queued
+	h   Handler // pre-bound form; nil for closure events
+	arg uint64
+
+	seq    uint64
+	index  int  // heap index, -1 when not queued
+	pooled bool // owned by the queue's free list (ScheduleFn form)
 }
 
-// Queue is a deterministic event queue (binary heap).
+// Handler is a pre-bound event callback: one long-lived receiver
+// dispatched with a per-event uint64 argument. The hot schedulers (the
+// machine run loop driving the CPU, port, and memory-system models)
+// implement it once and pass node ids as arg, which avoids allocating a
+// fresh closure for every scheduled event.
+type Handler interface {
+	HandleEvent(now Ticks, arg uint64)
+}
+
+// Queue is a deterministic event queue (binary heap) with a free list
+// of recycled events for the allocation-free ScheduleFn fast path.
 type Queue struct {
 	heap    []*Event
+	free    []*Event // recycled ScheduleFn events
 	nextSeq uint64
 	now     Ticks
 }
@@ -41,6 +63,28 @@ func (q *Queue) Schedule(at Ticks, prio int32, fn func(now Ticks)) *Event {
 	return e
 }
 
+// ScheduleFn enqueues h.HandleEvent(at, arg) using a recycled Event
+// when one is available. No handle is returned: the event belongs to
+// the queue and is reclaimed when it fires, so callers must not need to
+// Cancel it. This is the zero-allocation path the simulation hot loop
+// uses.
+func (q *Queue) ScheduleFn(at Ticks, prio int32, h Handler, arg uint64) {
+	if at < q.now {
+		panic("sim: event scheduled in the past")
+	}
+	var e *Event
+	if n := len(q.free); n > 0 {
+		e = q.free[n-1]
+		q.free[n-1] = nil
+		q.free = q.free[:n-1]
+		*e = Event{At: at, Prio: prio, h: h, arg: arg, seq: q.nextSeq, index: -1, pooled: true}
+	} else {
+		e = &Event{At: at, Prio: prio, h: h, arg: arg, seq: q.nextSeq, index: -1, pooled: true}
+	}
+	q.nextSeq++
+	q.push(e)
+}
+
 // Cancel removes a pending event. It is a no-op if the event already
 // fired or was cancelled.
 func (q *Queue) Cancel(e *Event) {
@@ -48,7 +92,6 @@ func (q *Queue) Cancel(e *Event) {
 		return
 	}
 	q.remove(e.index)
-	e.index = -1
 }
 
 // Reschedule moves a pending event to a new time (or re-inserts a fired
@@ -66,18 +109,59 @@ func (q *Queue) Reschedule(e *Event, at Ticks) {
 	q.push(e)
 }
 
+// PeekAt returns the time of the earliest pending event without
+// dispatching it. ok is false when the queue is empty.
+func (q *Queue) PeekAt() (at Ticks, ok bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].At, true
+}
+
+// dispatch pops and fires the head event. Pooled events are recycled
+// onto the free list before their handler runs, so a handler that
+// immediately reschedules reuses the very event that woke it.
+func (q *Queue) dispatch() {
+	e := q.heap[0]
+	q.remove(0)
+	q.now = e.At
+	if e.pooled {
+		at, h, arg := e.At, e.h, e.arg
+		e.h = nil
+		q.free = append(q.free, e)
+		h.HandleEvent(at, arg)
+		return
+	}
+	e.Fn(e.At)
+}
+
 // Step dispatches the earliest event. It returns false when the queue is
 // empty.
 func (q *Queue) Step() bool {
 	if len(q.heap) == 0 {
 		return false
 	}
-	e := q.heap[0]
-	q.remove(0)
-	e.index = -1
-	q.now = e.At
-	e.Fn(e.At)
+	q.dispatch()
 	return true
+}
+
+// StepBatch dispatches every event scheduled at the earliest pending
+// tick and returns how many fired (0 when the queue is empty). The run
+// loop uses it to batch same-tick dispatches: one PeekAt per tick
+// instead of a full Step round-trip per event, and the common
+// same-tick cascade (a handler scheduling more work at the current
+// time) stays inside the loop.
+func (q *Queue) StepBatch() int {
+	if len(q.heap) == 0 {
+		return 0
+	}
+	at := q.heap[0].At
+	n := 0
+	for len(q.heap) > 0 && q.heap[0].At == at {
+		q.dispatch()
+		n++
+	}
+	return n
 }
 
 // Run dispatches events until the queue is empty or until limit events
@@ -111,17 +195,24 @@ func (q *Queue) push(e *Event) {
 	q.up(e.index)
 }
 
+// remove unlinks heap[i] and clears its index so that no caller can
+// forget to: a stale index on a fired or cancelled event would make a
+// later Cancel silently corrupt the heap.
 func (q *Queue) remove(i int) {
+	e := q.heap[i]
 	n := len(q.heap) - 1
 	if i != n {
 		q.swap(i, n)
+		q.heap[n] = nil
 		q.heap = q.heap[:n]
 		if !q.down(i) {
 			q.up(i)
 		}
 	} else {
+		q.heap[n] = nil
 		q.heap = q.heap[:n]
 	}
+	e.index = -1
 }
 
 func (q *Queue) swap(i, j int) {

@@ -29,13 +29,20 @@ type Config struct {
 // cost.
 func R10000() Config { return Config{Entries: 64, HandlerCycles: 65, HandlerInstrs: 14} }
 
-// TLB is a fully associative TLB with pseudo-LRU replacement.
+// TLB is a fully associative TLB with exact LRU replacement.
+//
+// It sits on the critical path of every simulated memory access, so
+// recency is tracked with per-slot stamps from a monotonic clock —
+// a hit is one stamp store, a refill scans the (at most 64-entry)
+// arrays for the minimum stamp. The hit/miss/eviction sequence is
+// identical to a recency-ordered list; only the bookkeeping differs.
 type TLB struct {
-	cfg     Config
-	entries []uint64 // virtual page numbers; index order = recency
-	present map[uint64]int
-	hits    uint64
-	misses  uint64
+	cfg    Config
+	vps    []uint64 // resident virtual page numbers (unordered)
+	stamps []uint64 // per-slot recency; larger = more recent
+	clock  uint64
+	hits   uint64
+	misses uint64
 }
 
 // New creates an empty TLB.
@@ -44,9 +51,9 @@ func New(cfg Config) *TLB {
 		panic("tlb: Entries must be positive")
 	}
 	return &TLB{
-		cfg:     cfg,
-		entries: make([]uint64, 0, cfg.Entries),
-		present: make(map[uint64]int, cfg.Entries),
+		cfg:    cfg,
+		vps:    make([]uint64, 0, cfg.Entries),
+		stamps: make([]uint64, 0, cfg.Entries),
 	}
 }
 
@@ -56,9 +63,10 @@ func (t *TLB) Config() Config { return t.cfg }
 // Access looks up virtual page vp, refilling on a miss. It reports
 // whether the access hit.
 func (t *TLB) Access(vp uint64) bool {
-	if i, ok := t.present[vp]; ok {
+	if i := t.lookup(vp); i >= 0 {
 		t.hits++
-		t.touch(i)
+		t.clock++
+		t.stamps[i] = t.clock
 		return true
 	}
 	t.misses++
@@ -66,63 +74,55 @@ func (t *TLB) Access(vp uint64) bool {
 	return false
 }
 
-// Probe reports whether vp is resident without updating any state.
-func (t *TLB) Probe(vp uint64) bool {
-	_, ok := t.present[vp]
-	return ok
+// lookup returns vp's slot, or -1. The arrays span at most eight cache
+// lines, so a linear scan beats hashing here.
+func (t *TLB) lookup(vp uint64) int {
+	for i, e := range t.vps {
+		if e == vp {
+			return i
+		}
+	}
+	return -1
 }
 
-// Invalidate removes vp if resident (e.g. on page remap), preserving
-// the recency order of the remaining entries.
+// Probe reports whether vp is resident without updating any state.
+func (t *TLB) Probe(vp uint64) bool { return t.lookup(vp) >= 0 }
+
+// Invalidate removes vp if resident (e.g. on page remap).
 func (t *TLB) Invalidate(vp uint64) {
-	i, ok := t.present[vp]
-	if !ok {
+	i := t.lookup(vp)
+	if i < 0 {
 		return
 	}
-	copy(t.entries[i:], t.entries[i+1:])
-	t.entries = t.entries[:len(t.entries)-1]
-	delete(t.present, vp)
-	for j := i; j < len(t.entries); j++ {
-		t.present[t.entries[j]] = j
-	}
+	last := len(t.vps) - 1
+	t.vps[i] = t.vps[last]
+	t.stamps[i] = t.stamps[last]
+	t.vps = t.vps[:last]
+	t.stamps = t.stamps[:last]
 }
 
 // Flush empties the TLB (context switch).
 func (t *TLB) Flush() {
-	t.entries = t.entries[:0]
-	for k := range t.present {
-		delete(t.present, k)
-	}
-}
-
-// touch moves entry i to the most-recently-used position, preserving
-// the recency order of everything else (index 0 stays least recent).
-func (t *TLB) touch(i int) {
-	last := len(t.entries) - 1
-	if i == last {
-		return
-	}
-	vp := t.entries[i]
-	copy(t.entries[i:], t.entries[i+1:])
-	t.entries[last] = vp
-	for j := i; j <= last; j++ {
-		t.present[t.entries[j]] = j
-	}
+	t.vps = t.vps[:0]
+	t.stamps = t.stamps[:0]
 }
 
 // insert adds vp, evicting the least recently used entry if full.
 func (t *TLB) insert(vp uint64) {
-	if len(t.entries) == t.cfg.Entries {
-		victim := t.entries[0]
-		copy(t.entries, t.entries[1:])
-		t.entries = t.entries[:len(t.entries)-1]
-		delete(t.present, victim)
-		for j, e := range t.entries {
-			t.present[e] = j
+	t.clock++
+	if len(t.vps) == t.cfg.Entries {
+		victim := 0
+		for i, s := range t.stamps {
+			if s < t.stamps[victim] {
+				victim = i
+			}
 		}
+		t.vps[victim] = vp
+		t.stamps[victim] = t.clock
+		return
 	}
-	t.entries = append(t.entries, vp)
-	t.present[vp] = len(t.entries) - 1
+	t.vps = append(t.vps, vp)
+	t.stamps = append(t.stamps, t.clock)
 }
 
 // Hits returns the number of TLB hits.
@@ -132,4 +132,4 @@ func (t *TLB) Hits() uint64 { return t.hits }
 func (t *TLB) Misses() uint64 { return t.misses }
 
 // Resident returns the number of valid entries.
-func (t *TLB) Resident() int { return len(t.entries) }
+func (t *TLB) Resident() int { return len(t.vps) }
