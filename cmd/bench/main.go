@@ -1,0 +1,218 @@
+// Command bench runs the repo's performance-trajectory suite — the
+// event-queue and emitter microbenchmarks plus quick-scale simulator
+// and figure benchmarks — and writes the results as a BENCH_<date>.json
+// record. Committing one such file per perf-relevant change turns the
+// repo history into a machine-checkable performance trajectory: any
+// future PR's speed or allocation claim can be diffed against the
+// previous record instead of taken on faith.
+//
+// Usage:
+//
+//	bench                      # writes BENCH_<today>.json
+//	bench -out BENCH_x.json    # explicit output path
+//	bench -match queue         # run only benchmarks whose name matches
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/emitter"
+	"flashsim/internal/harness"
+	"flashsim/internal/hw"
+	"flashsim/internal/machine"
+	"flashsim/internal/sim"
+)
+
+// trajectorySchema versions the BENCH_*.json layout.
+const trajectorySchema = 1
+
+// Entry is one benchmark's outcome.
+type Entry struct {
+	Name string
+	// N is the iteration count the harness settled on.
+	N           int
+	NsPerOp     float64
+	AllocsPerOp int64
+	BytesPerOp  int64
+	// Extra carries b.ReportMetric values (e.g. "sim-instrs/op").
+	Extra map[string]float64 `json:",omitempty"`
+}
+
+// Trajectory is the whole BENCH_<date>.json document.
+type Trajectory struct {
+	Schema   int
+	Date     string
+	Go       string
+	GOOS     string
+	GOARCH   string
+	CPUs     int
+	MaxProcs int
+	Entries  []Entry
+}
+
+// nopHandler discards events (mirrors the sim package's benchmark
+// handler, which is not exported).
+type nopHandler struct{}
+
+func (nopHandler) HandleEvent(sim.Ticks, uint64) {}
+
+// benchmarks is the curated suite: the allocation-sensitive hot paths
+// first (their allocs/op figures are the regression contract), then the
+// simulator-speed and end-to-end figure benchmarks at quick scale.
+var benchmarks = []struct {
+	name string
+	fn   func(b *testing.B)
+}{
+	{"event-queue-hold", func(b *testing.B) {
+		q := sim.NewQueue()
+		var h sim.Handler = nopHandler{}
+		const pending = 64
+		for i := 0; i < pending; i++ {
+			q.ScheduleFn(sim.Ticks(i), int32(i&3), h, uint64(i))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Step()
+			q.ScheduleFn(q.Now()+pending, int32(i&3), h, uint64(i))
+		}
+	}},
+	{"event-queue-closure", func(b *testing.B) {
+		q := sim.NewQueue()
+		nop := func(sim.Ticks) {}
+		const pending = 64
+		for i := 0; i < pending; i++ {
+			q.Schedule(sim.Ticks(i), int32(i&3), nop)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			q.Step()
+			q.Schedule(q.Now()+pending, int32(i&3), nop)
+		}
+	}},
+	{"emitter-throughput", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := emitter.Start(1, func(t *emitter.Thread) { t.IntOps(1 << 16) })
+			n := 0
+			for {
+				if _, ok := s.Readers[0].Next(); !ok {
+					break
+				}
+				n++
+			}
+			s.Wait()
+			if n != 1<<16 {
+				b.Fatal("short stream")
+			}
+		}
+		b.ReportMetric(float64(int(1)<<16), "instrs/op")
+	}},
+	{"sim-speed-mipsy", func(b *testing.B) {
+		benchRun(b, core.SimOSMipsy(1, 150, true))
+	}},
+	{"sim-speed-mxs", func(b *testing.B) {
+		benchRun(b, core.SimOSMXS(1, true))
+	}},
+	{"sim-speed-hw", func(b *testing.B) {
+		cfg := hw.Config(1, true)
+		cfg.JitterPct = 0
+		benchRun(b, cfg)
+	}},
+	{"figure1-quick", func(b *testing.B) {
+		s := harness.NewSession(harness.ScaleQuick)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.Figure1(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+}
+
+// benchRun measures one quick FFT machine run and reports simulated
+// instructions per op, the simulator-speed axis of the paper.
+func benchRun(b *testing.B, cfg machine.Config) {
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := machine.Run(cfg, apps.FFT(apps.FFTOpts{LogN: 12, Procs: 1, TLBBlocked: true, Prefetch: true}))
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs = res.Instructions
+	}
+	b.ReportMetric(float64(instrs), "sim-instrs/op")
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		date  = flag.String("date", "", "date stamp for the record (default today, YYYY-MM-DD)")
+		match = flag.String("match", "", "run only benchmarks whose name contains this substring")
+	)
+	flag.Parse()
+
+	day := *date
+	if day == "" {
+		day = time.Now().Format("2006-01-02")
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + day + ".json"
+	}
+
+	traj := Trajectory{
+		Schema:   trajectorySchema,
+		Date:     day,
+		Go:       runtime.Version(),
+		GOOS:     runtime.GOOS,
+		GOARCH:   runtime.GOARCH,
+		CPUs:     runtime.NumCPU(),
+		MaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, bm := range benchmarks {
+		if *match != "" && !strings.Contains(bm.name, *match) {
+			continue
+		}
+		r := testing.Benchmark(bm.fn)
+		e := Entry{
+			Name:        bm.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			e.Extra = r.Extra
+		}
+		traj.Entries = append(traj.Entries, e)
+		fmt.Printf("%-24s %12.1f ns/op %8d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+		for k, v := range e.Extra {
+			fmt.Printf("  %s=%.0f", k, v)
+		}
+		fmt.Println()
+	}
+	if len(traj.Entries) == 0 {
+		log.Fatalf("no benchmark matches %q", *match)
+	}
+
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(traj.Entries))
+}

@@ -9,6 +9,8 @@
 //	flashsim -app ocean -sim solo-mipsy -mhz 225
 //	flashsim -app lu -sim simos-mxs -mem numa
 //	flashsim -sim simos-mipsy -set os.tlb.handler_cycles=65
+//	flashsim -app fft -metrics-out m.json     # per-run counter report
+//	flashsim -app radix -check-coherence      # directory invariant checks
 package main
 
 import (
@@ -42,6 +44,7 @@ func main() {
 		tlbBlk   = flag.Bool("tlb-blocked", true, "FFT transpose blocked for the TLB")
 		seed     = flag.Uint64("seed", 1, "jitter/branch seed")
 		fullSize = flag.Bool("full", true, "full (1/16-paper) problem sizes")
+		check    = flag.Bool("check-coherence", false, "verify directory protocol invariants after every operation")
 		cf       = cliutil.Register()
 	)
 	flag.Parse()
@@ -71,6 +74,7 @@ func main() {
 		cfg = core.WithNUMA(cfg)
 	}
 	cfg.Seed = *seed
+	cfg.CheckCoherence = *check
 	cfg, err := cf.Apply(cfg)
 	if err != nil {
 		log.Fatal(err)

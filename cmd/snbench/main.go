@@ -9,6 +9,7 @@
 //	snbench -sim simos-mipsy   # also simos-mipsy | simos-mxs | solo-mipsy
 //	snbench -mhz 225           # simulator clock
 //	snbench -tuned             # calibrate the simulator first
+//	snbench -sim simos-mipsy -metrics-out m.json  # per-run counter report
 package main
 
 import (

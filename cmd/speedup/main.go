@@ -8,6 +8,7 @@
 //	speedup -figure 6
 //	speedup -figure 7
 //	speedup -all [-quick] [-jobs 8] [-cache-dir .flashcache]
+//	speedup -figure 5 -metrics-out m.json  # per-run counter report
 package main
 
 import (

@@ -7,6 +7,7 @@
 //
 //	tune -sim simos-mipsy -mhz 225
 //	tune -sim simos-mxs
+//	tune -sim simos-mipsy -metrics-out m.json  # per-run counter report
 package main
 
 import (

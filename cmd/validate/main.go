@@ -11,6 +11,7 @@
 //	validate -quick          # reduced problem sizes
 //	validate -all -jobs 8 -cache-dir .flashcache
 //	validate -experiment tlb -set os.tlb.handler_cycles=65   # the X1 fix as an override
+//	validate -experiment tlb -metrics-out m.json             # per-run counter report
 package main
 
 import (

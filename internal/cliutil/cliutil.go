@@ -3,7 +3,8 @@
 // description each — -jobs and -cache-dir (the runner pool), -config
 // and -set (machine-parameter overrides through the internal/param
 // registry), -cpuprofile/-memprofile/-trace (pprof and execution-trace
-// artifacts) — plus -list-params for registry introspection, instead
+// artifacts), -metrics-out (the per-run observability report of
+// internal/obs) — plus -list-params for registry introspection, instead
 // of five drifting copies of the same flag declarations.
 package cliutil
 
@@ -17,6 +18,7 @@ import (
 	"strings"
 
 	"flashsim/internal/machine"
+	"flashsim/internal/obs"
 	"flashsim/internal/param"
 	"flashsim/internal/runner"
 )
@@ -32,6 +34,7 @@ const (
 	cpuProfileUsage = "write a CPU profile to this file (go tool pprof)"
 	memProfileUsage = "write an allocation profile to this file on exit (go tool pprof)"
 	traceUsage      = "write a runtime execution trace to this file (go tool trace)"
+	metricsOutUsage = "write the aggregated per-run metrics report (obs.Report JSON) to this file on exit"
 )
 
 // Flags carries the shared flag values after flag.Parse.
@@ -43,6 +46,7 @@ type Flags struct {
 	CPUProfile string
 	MemProfile string
 	TraceFile  string
+	MetricsOut string
 
 	sets     stringList
 	settings []param.Setting
@@ -50,6 +54,9 @@ type Flags struct {
 
 	cpuFile   *os.File
 	traceFile *os.File
+
+	collector *obs.Collector
+	pool      *runner.Pool
 }
 
 // stringList is a repeatable string flag.
@@ -77,6 +84,7 @@ func RegisterOn(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", cpuProfileUsage)
 	fs.StringVar(&f.MemProfile, "memprofile", "", memProfileUsage)
 	fs.StringVar(&f.TraceFile, "trace", "", traceUsage)
+	fs.StringVar(&f.MetricsOut, "metrics-out", "", metricsOutUsage)
 	return f
 }
 
@@ -158,13 +166,14 @@ func (f *Flags) stopCPUProfile() {
 	f.cpuFile = nil
 }
 
-// Close finalizes the profiling artifacts: it stops the CPU profile and
-// execution trace and writes the -memprofile heap snapshot (after a GC,
-// so it reflects live steady-state memory, the figure the allocation
-// regression tests pin). Safe to call when no profiling flag was given.
-// Error paths that exit through log.Fatal skip it, which loses at most
-// a partial profile.
+// Close finalizes the run artifacts: it writes the -metrics-out report,
+// stops the CPU profile and execution trace, and writes the -memprofile
+// heap snapshot (after a GC, so it reflects live steady-state memory,
+// the figure the allocation regression tests pin). Safe to call when no
+// artifact flag was given. Error paths that exit through log.Fatal skip
+// it, which loses at most a partial artifact.
 func (f *Flags) Close() error {
+	metricsErr := f.writeMetrics()
 	f.stopCPUProfile()
 	if f.traceFile != nil {
 		trace.Stop()
@@ -182,7 +191,7 @@ func (f *Flags) Close() error {
 			return fmt.Errorf("-memprofile: %w", err)
 		}
 	}
-	return nil
+	return metricsErr
 }
 
 // HasOverrides reports whether -config or -set supplied any parameter
@@ -206,12 +215,37 @@ func (f *Flags) Apply(cfg machine.Config) (machine.Config, error) {
 }
 
 // Pool builds the runner pool and memoizing store the flags describe.
+// When -metrics-out is set, a metrics collector is attached to the pool
+// and its report is written by Close.
 func (f *Flags) Pool() (*runner.Pool, *runner.Store, error) {
 	store, err := runner.NewStore(f.CacheDir)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cache: %w", err)
 	}
-	return runner.New(f.Jobs, store), store, nil
+	pool := runner.New(f.Jobs, store)
+	if f.MetricsOut != "" {
+		f.collector = obs.NewCollector()
+		pool.SetMetrics(f.collector)
+	}
+	f.pool = pool
+	return pool, store, nil
+}
+
+// writeMetrics writes the -metrics-out report. A no-op when the flag is
+// unset or no pool was ever built (e.g. the command failed during flag
+// validation).
+func (f *Flags) writeMetrics() error {
+	if f.MetricsOut == "" || f.collector == nil {
+		return nil
+	}
+	rep := f.collector.Snapshot()
+	if f.pool != nil {
+		rep.Runner = f.pool.Stats().Counters()
+	}
+	if err := rep.WriteFile(f.MetricsOut); err != nil {
+		return fmt.Errorf("-metrics-out: %w", err)
+	}
+	return nil
 }
 
 // Settings returns the validated -set overrides (file overrides are in

@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	"flashsim/internal/isa"
+	"flashsim/internal/obs"
 )
 
 // BatchSize is the number of instructions per channel send. Batching
@@ -322,13 +323,19 @@ func (b *cyclicBarrier) release() {
 }
 
 // Reader consumes one thread's instruction stream.
+//
+// The counters are plain fields: Next runs on the consumer goroutine
+// (the machine's event loop) only, so no synchronization is needed and
+// none would be affordable on this path.
 type Reader struct {
-	ch   <-chan []isa.Instr
-	free chan<- []isa.Instr // consumed buffers go back to the Thread
-	buf  []isa.Instr
-	pos  int
-	done bool
-	read uint64
+	ch      <-chan []isa.Instr
+	free    chan<- []isa.Instr // consumed buffers go back to the Thread
+	buf     []isa.Instr
+	pos     int
+	done    bool
+	read    uint64
+	batches uint64
+	reuses  uint64 // consumed buffers successfully recycled to the pool
 }
 
 // Next returns the next instruction, or ok=false at end of stream.
@@ -345,6 +352,7 @@ func (r *Reader) Next() (in isa.Instr, ok bool) {
 			// fed outside Start (tests).
 			select {
 			case r.free <- r.buf[:0]:
+				r.reuses++
 			default:
 			}
 			r.buf = nil
@@ -356,6 +364,7 @@ func (r *Reader) Next() (in isa.Instr, ok bool) {
 		}
 		r.buf = batch
 		r.pos = 0
+		r.batches++
 	}
 	in = r.buf[r.pos]
 	r.pos++
@@ -365,6 +374,13 @@ func (r *Reader) Next() (in isa.Instr, ok bool) {
 
 // Consumed returns how many instructions have been read.
 func (r *Reader) Consumed() uint64 { return r.read }
+
+// Batches returns how many instruction batches have been consumed.
+func (r *Reader) Batches() uint64 { return r.batches }
+
+// SlabReuses returns how many consumed batch buffers went back to the
+// producer's recycling pool.
+func (r *Reader) SlabReuses() uint64 { return r.reuses }
 
 // Streams is a running program: one Reader per thread plus abort
 // plumbing.
@@ -407,6 +423,19 @@ func (s *Streams) Err() error {
 
 // Wait blocks until all emitter goroutines have finished.
 func (s *Streams) Wait() { s.wg.Wait() }
+
+// Counters sums the consumer-side stream counters across all Readers.
+// Call it from the consumer goroutine after the run drains (the Reader
+// counters are unsynchronized by design).
+func (s *Streams) Counters() obs.EmitterCounters {
+	var c obs.EmitterCounters
+	for _, r := range s.Readers {
+		c.Batches += r.batches
+		c.Instructions += r.read
+		c.SlabReuses += r.reuses
+	}
+	return c
+}
 
 // Start launches nthreads goroutines running body and returns their
 // streams. body receives the per-thread emission context.

@@ -1,0 +1,176 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codec for instruction streams.
+//
+// The emitter regenerates workloads on the fly, so the simulator never
+// needs serialized programs — but trace files do: dumping a stream for
+// offline diffing (two simulator versions fed the identical bytes) or
+// archiving the exact instruction sequence behind a cached result. The
+// encoding is compact and canonical: one opcode byte, one presence
+// byte, then a uvarint per present field. A field is present iff it is
+// nonzero, which makes the mapping bijective — every Instr has exactly
+// one encoding and every valid encoding decodes to exactly one Instr —
+// so round-trip equality can be checked bytewise in both directions.
+//
+// DecodeInstr never panics on arbitrary input; every malformed byte
+// sequence returns an error (FuzzISARoundTrip pins this).
+
+// Presence bits in the second encoding byte, one per optional field.
+const (
+	flagAddr = 1 << iota
+	flagSize
+	flagDep1
+	flagDep2
+	flagAux
+
+	flagsValid = flagAddr | flagSize | flagDep1 | flagDep2 | flagAux
+)
+
+// AppendInstr appends the canonical encoding of in to dst and returns
+// the extended slice. The instruction must be well-formed (Op < NumOps);
+// encoding an out-of-range op is a programming error and panics, since
+// no decoder could ever return it.
+func AppendInstr(dst []byte, in Instr) []byte {
+	if in.Op >= NumOps {
+		panic(fmt.Sprintf("isa: encoding invalid op %d", uint8(in.Op)))
+	}
+	var flags byte
+	if in.Addr != 0 {
+		flags |= flagAddr
+	}
+	if in.Size != 0 {
+		flags |= flagSize
+	}
+	if in.Dep1 != 0 {
+		flags |= flagDep1
+	}
+	if in.Dep2 != 0 {
+		flags |= flagDep2
+	}
+	if in.Aux != 0 {
+		flags |= flagAux
+	}
+	dst = append(dst, byte(in.Op), flags)
+	if in.Addr != 0 {
+		dst = binary.AppendUvarint(dst, in.Addr)
+	}
+	if in.Size != 0 {
+		dst = binary.AppendUvarint(dst, uint64(in.Size))
+	}
+	if in.Dep1 != 0 {
+		dst = binary.AppendUvarint(dst, uint64(in.Dep1))
+	}
+	if in.Dep2 != 0 {
+		dst = binary.AppendUvarint(dst, uint64(in.Dep2))
+	}
+	if in.Aux != 0 {
+		dst = binary.AppendUvarint(dst, uint64(in.Aux))
+	}
+	return dst
+}
+
+// DecodeInstr decodes one instruction from the front of b, returning it
+// with the number of bytes consumed. It rejects — with an error, never
+// a panic — unknown opcodes, unknown presence bits, truncated or
+// overlong varints, field values that overflow their type, and
+// non-canonical encodings (a present field holding zero).
+func DecodeInstr(b []byte) (Instr, int, error) {
+	var in Instr
+	if len(b) < 2 {
+		return in, 0, fmt.Errorf("isa: truncated instruction header (%d bytes)", len(b))
+	}
+	if Op(b[0]) >= NumOps {
+		return in, 0, fmt.Errorf("isa: unknown opcode %d", b[0])
+	}
+	in.Op = Op(b[0])
+	flags := b[1]
+	if flags&^byte(flagsValid) != 0 {
+		return in, 0, fmt.Errorf("isa: unknown presence bits %#x", flags&^byte(flagsValid))
+	}
+	n := 2
+	field := func(name string, max uint64) (uint64, error) {
+		v, w := binary.Uvarint(b[n:])
+		if w <= 0 {
+			return 0, fmt.Errorf("isa: bad varint for %s at offset %d", name, n)
+		}
+		// Reject overlong encodings (0x81 0x00 is 1 in two bytes):
+		// canonicality is what makes the codec bijective.
+		var tmp [binary.MaxVarintLen64]byte
+		if binary.PutUvarint(tmp[:], v) != w {
+			return 0, fmt.Errorf("isa: overlong varint for %s at offset %d", name, n)
+		}
+		n += w
+		if v == 0 {
+			return 0, fmt.Errorf("isa: non-canonical zero %s", name)
+		}
+		if v > max {
+			return 0, fmt.Errorf("isa: %s %d overflows", name, v)
+		}
+		return v, nil
+	}
+	if flags&flagAddr != 0 {
+		v, err := field("addr", 1<<64-1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.Addr = v
+	}
+	if flags&flagSize != 0 {
+		v, err := field("size", 1<<32-1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.Size = uint32(v)
+	}
+	if flags&flagDep1 != 0 {
+		v, err := field("dep1", 1<<32-1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.Dep1 = uint32(v)
+	}
+	if flags&flagDep2 != 0 {
+		v, err := field("dep2", 1<<32-1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.Dep2 = uint32(v)
+	}
+	if flags&flagAux != 0 {
+		v, err := field("aux", 1<<32-1)
+		if err != nil {
+			return in, 0, err
+		}
+		in.Aux = uint32(v)
+	}
+	return in, n, nil
+}
+
+// EncodeStream encodes a whole instruction stream.
+func EncodeStream(ins []Instr) []byte {
+	var out []byte
+	for _, in := range ins {
+		out = AppendInstr(out, in)
+	}
+	return out
+}
+
+// DecodeStream decodes a stream until the buffer is exhausted. Any
+// malformed instruction fails the whole stream.
+func DecodeStream(b []byte) ([]Instr, error) {
+	var out []Instr
+	for len(b) > 0 {
+		in, n, err := DecodeInstr(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, in)
+		b = b[n:]
+	}
+	return out, nil
+}

@@ -1,0 +1,66 @@
+package isa
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	ins := []Instr{
+		{Op: Nop},
+		{Op: IntALU, Dep1: 1},
+		{Op: Load, Addr: 0xdeadbeef000, Size: 8, Dep1: 3, Dep2: 1},
+		{Op: Store, Addr: 0x1000, Size: 4},
+		{Op: Prefetch, Addr: 1},
+		{Op: Barrier, Aux: 24},
+		{Op: Syscall, Aux: 4001},
+		{Op: Cop0},
+	}
+	enc := EncodeStream(ins)
+	back, err := DecodeStream(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ins, back) {
+		t.Fatalf("round trip changed the stream:\n%v\n%v", ins, back)
+	}
+	// Bijectivity: re-encoding lands on the same bytes.
+	if again := EncodeStream(back); !reflect.DeepEqual(enc, again) {
+		t.Fatalf("re-encoding differs:\n% x\n% x", enc, again)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"header only", []byte{byte(Load)}},
+		{"bad opcode", []byte{byte(NumOps), 0}},
+		{"unknown flag", []byte{byte(Nop), 0x80}},
+		{"truncated field", []byte{byte(Load), flagAddr}},
+		{"unterminated varint", []byte{byte(Load), flagAddr, 0x80}},
+		{"zero present field", []byte{byte(Load), flagAddr, 0x00}},
+		{"overlong varint", []byte{byte(Load), flagAddr, 0x81, 0x00}},
+		{"size overflow", append([]byte{byte(Load), flagSize}, 0x80, 0x80, 0x80, 0x80, 0x10)},
+		{"varint overflow", append([]byte{byte(Load), flagAddr},
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, _, err := DecodeInstr(c.b); err == nil {
+				t.Fatalf("decode of % x succeeded", c.b)
+			}
+		})
+	}
+}
+
+func TestEncodePanicsOnInvalidOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("encoding an out-of-range op must panic")
+		}
+	}()
+	AppendInstr(nil, Instr{Op: NumOps})
+}

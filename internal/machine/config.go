@@ -105,6 +105,13 @@ type Config struct {
 	Seed uint64
 	// Quantum bounds instructions per scheduling slice.
 	Quantum int
+
+	// CheckCoherence verifies the directory's protocol invariants after
+	// every operation (see proto/invariants.go). A verification flag,
+	// not a timing parameter: it cannot change any result, so it is
+	// deliberately excluded from the param registry and the run
+	// fingerprints.
+	CheckCoherence bool
 }
 
 // Validate checks the configuration.

@@ -101,6 +101,9 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 		m.mem = memsys.NewFlashLite(fc)
 	}
 	m.mem.SetPeers(m)
+	if cfg.CheckCoherence {
+		m.mem.Directory().SetInvariantChecks(true)
+	}
 
 	clock := sim.NewClock(cfg.ClockMHz)
 	m.nodes = make([]*node, cfg.Procs)
@@ -161,7 +164,9 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
 			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
 	}
-	return m.collect(), nil
+	res := m.collect(streams)
+	res.Metrics.Workload = prog.FullName()
+	return res, nil
 }
 
 // HandleEvent implements sim.Handler: arg is a node id. All hot-path

@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"flashsim/internal/cache"
+	"flashsim/internal/emitter"
+	"flashsim/internal/obs"
+	"flashsim/internal/proto"
+)
+
+// buildMetrics snapshots every subsystem's counters into one RunMetrics
+// record. It runs once, after the event loop drains, so it is free to
+// allocate — only the counters it reads sit on the hot path, and those
+// are plain field increments.
+func (m *Machine) buildMetrics(r *Result, streams *emitter.Streams) obs.RunMetrics {
+	rm := obs.RunMetrics{
+		Config:       m.cfg.Name,
+		Procs:        m.cfg.Procs,
+		Runs:         1,
+		Instructions: r.Instructions,
+		ExecTicks:    uint64(r.Exec),
+		TotalTicks:   uint64(r.Total),
+		Queue:        m.queue.Stats(),
+		Emitter:      streams.Counters(),
+		L1:           cacheCounters(r.L1),
+		L2:           cacheCounters(r.L2),
+		TLB:          m.os.TLBStats(),
+		Dir:          dirCounters(r.Dir),
+		OS:           m.os.Counters(),
+	}
+	if net := m.mem.Net(); net != nil {
+		s := net.Stats()
+		rm.Net = obs.NetworkCounters{Messages: s.Messages, Bytes: s.Bytes, Hops: s.Hops}
+	}
+	return rm
+}
+
+func cacheCounters(s cache.Stats) obs.CacheCounters {
+	return obs.CacheCounters{
+		Hits:          s.Hits,
+		Misses:        s.Misses,
+		Evictions:     s.Evictions,
+		Writebacks:    s.Writebacks,
+		Invalidations: s.Invals,
+		Interventions: s.Interventio,
+	}
+}
+
+func dirCounters(s proto.DirStats) obs.DirectoryCounters {
+	c := obs.DirectoryCounters{
+		Reads:         s.Reads,
+		Writes:        s.Writes,
+		Writebacks:    s.Writebacks,
+		Invalidations: s.Invalidations,
+		Transitions:   s.Transitions,
+		StaleInvals:   s.StaleInvals,
+	}
+	for i, n := range s.CaseCounts {
+		if n != 0 {
+			if c.Cases == nil {
+				c.Cases = make(map[string]uint64, len(s.CaseCounts))
+			}
+			c.Cases[proto.Case(i).String()] = n
+		}
+	}
+	return c
+}

@@ -1,0 +1,136 @@
+package machine_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"flashsim/internal/hw"
+	"flashsim/internal/machine"
+)
+
+// simosConfig is simpleConfig's SimOS sibling (hardware reference): TLB,
+// coloring, and kernel costs enabled, so every counter group is live.
+func simosConfig(procs int) machine.Config {
+	cfg := hw.Config(procs, true)
+	cfg.Name = "test-hw"
+	return cfg
+}
+
+func TestRunMetricsPopulated(t *testing.T) {
+	res, err := machine.Run(simosConfig(4), trivialProgram(4, 1<<15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Config != "test-hw" || m.Workload == "" || m.Procs != 4 || m.Runs != 1 {
+		t.Fatalf("labels wrong: %+v", m)
+	}
+	if m.Instructions != res.Instructions || m.ExecTicks != uint64(res.Exec) || m.TotalTicks != uint64(res.Total) {
+		t.Fatalf("headline numbers disagree with Result: %+v vs %v", m, res)
+	}
+	if m.Queue.Scheduled == 0 || m.Queue.Fired == 0 || m.Queue.Recycled == 0 {
+		t.Fatalf("queue counters empty: %+v", m.Queue)
+	}
+	if m.Queue.Fired > m.Queue.Scheduled {
+		t.Fatalf("fired %d > scheduled %d", m.Queue.Fired, m.Queue.Scheduled)
+	}
+	if m.Emitter.Instructions == 0 || m.Emitter.Batches == 0 {
+		t.Fatalf("emitter counters empty: %+v", m.Emitter)
+	}
+	if m.L1.Hits == 0 || m.L2.Misses == 0 {
+		t.Fatalf("cache counters empty: L1=%+v L2=%+v", m.L1, m.L2)
+	}
+	// The working set (32K doubles = 64 pages/proc region) overflows a
+	// 64-entry TLB across the barrier phases.
+	if m.TLB.Misses == 0 || m.TLB.Hits == 0 {
+		t.Fatalf("TLB counters empty under SimOS: %+v", m.TLB)
+	}
+	// The write-allocate pattern drives the directory through Writes
+	// (reads of freshly written lines hit in cache, so Dir.Reads may
+	// stay zero for this kernel).
+	if m.Dir.Writes == 0 || m.Dir.Transitions == 0 {
+		t.Fatalf("directory counters empty: %+v", m.Dir)
+	}
+	if len(m.Dir.Cases) == 0 {
+		t.Fatalf("no protocol cases recorded: %+v", m.Dir)
+	}
+	if m.Net.Messages == 0 || m.Net.Hops == 0 {
+		t.Fatalf("network counters empty: %+v", m.Net)
+	}
+	if m.OS.PagesMapped == 0 || m.OS.ColdFaults == 0 {
+		t.Fatalf("OS counters empty: %+v", m.OS)
+	}
+}
+
+func TestRunMetricsZeroGroupsUnderSolo(t *testing.T) {
+	res, err := machine.Run(simpleConfig(2), trivialProgram(2, 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	// Solo has no TLB and free backdoor syscalls; those groups stay zero.
+	if m.TLB.Hits != 0 || m.TLB.Misses != 0 {
+		t.Fatalf("Solo model reported TLB traffic: %+v", m.TLB)
+	}
+	if m.OS.ColdFaults != 0 || m.OS.Syscalls != 0 {
+		t.Fatalf("Solo model charged kernel events: %+v", m.OS)
+	}
+	if m.OS.PagesMapped == 0 {
+		t.Fatalf("pages mapped must be counted under Solo too: %+v", m.OS)
+	}
+}
+
+// TestRunMetricsDeterministic pins the metrics block into the
+// determinism contract: two identical runs must produce bit-identical
+// metrics, or memoized results would differ from fresh ones.
+func TestRunMetricsDeterministic(t *testing.T) {
+	cfg := simosConfig(4)
+	a, err := machine.Run(cfg, trivialProgram(4, 1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := machine.Run(cfg, trivialProgram(4, 1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Metrics, b.Metrics) {
+		t.Fatalf("metrics differ across identical runs:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+}
+
+// TestRunMetricsSurvivesJSON pins the store round trip: a Result
+// marshaled and unmarshaled (what runner.Store does on disk) keeps its
+// metrics intact.
+func TestRunMetricsSurvivesJSON(t *testing.T) {
+	res, err := machine.Run(simosConfig(2), trivialProgram(2, 8192))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back machine.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Metrics, back.Metrics) {
+		t.Fatalf("metrics lost in JSON round trip:\n%+v\n%+v", res.Metrics, back.Metrics)
+	}
+}
+
+// TestCheckCoherenceCleanRun exercises the invariant checker through a
+// whole machine run: real multiprocessor traffic with per-operation
+// verification enabled must complete without a violation panic.
+func TestCheckCoherenceCleanRun(t *testing.T) {
+	cfg := simosConfig(4)
+	cfg.CheckCoherence = true
+	res, err := machine.Run(cfg, trivialProgram(4, 1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dir.Writes == 0 || res.Dir.Transitions == 0 {
+		t.Fatalf("invariant-checked run saw no directory traffic: %+v", res.Dir)
+	}
+}

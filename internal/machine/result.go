@@ -5,6 +5,8 @@ import (
 
 	"flashsim/internal/cache"
 	"flashsim/internal/cpu"
+	"flashsim/internal/emitter"
+	"flashsim/internal/obs"
 	"flashsim/internal/proto"
 	"flashsim/internal/sim"
 )
@@ -44,6 +46,11 @@ type Result struct {
 
 	// BarrierReleases records the release time(s) of every barrier id.
 	BarrierReleases map[uint32][]sim.Ticks
+
+	// Metrics is the per-run observability snapshot (internal/obs). It
+	// is part of the Result, so memoized results replay their metrics
+	// from the store exactly as a fresh run would report them.
+	Metrics obs.RunMetrics
 }
 
 // ExecSeconds returns the parallel-section time in seconds.
@@ -73,7 +80,7 @@ func (r Result) String() string {
 }
 
 // collect assembles the Result after the event loop drains.
-func (m *Machine) collect() Result {
+func (m *Machine) collect(streams *emitter.Streams) Result {
 	r := Result{
 		Config:          m.cfg.Name,
 		Procs:           m.cfg.Procs,
@@ -112,6 +119,7 @@ func (m *Machine) collect() Result {
 	if m.cfg.JitterPct != 0 {
 		r.Exec = jitter(r.Exec, m.cfg.JitterPct, m.cfg.Seed)
 	}
+	r.Metrics = m.buildMetrics(&r, streams)
 	return r
 }
 

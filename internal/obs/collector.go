@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ReportSchema versions the metrics-report JSON layout.
+const ReportSchema = 1
+
+// RunnerCounters is the run-execution view of a batch: how the pool
+// sourced the runs whose metrics the report aggregates.
+type RunnerCounters struct {
+	// Jobs is the number of jobs completed (run, cached, or failed).
+	Jobs int64
+	// Ran is the number of actual simulator executions (pool misses).
+	Ran int64
+	// CacheHits is the number of jobs satisfied from the memo store.
+	CacheHits int64
+	// Failed is the number of jobs that returned an error.
+	Failed int64
+	// WallNS is wall-clock time across batches; CPUNS sums per-job
+	// execution time (their ratio is the pool's parallel speedup).
+	WallNS int64
+	CPUNS  int64
+}
+
+// Report is the -metrics-out JSON document: pool-level counters plus
+// the merged per-run metrics, in total and broken out per
+// (config, workload) pair.
+type Report struct {
+	Schema int
+	Runner RunnerCounters
+	Total  RunMetrics
+	// PerConfig is sorted by (Config, Workload, Procs) for stable
+	// output.
+	PerConfig []RunMetrics
+}
+
+// JSON renders the report as indented JSON.
+func (r Report) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteFile writes the report to path as indented JSON.
+func (r Report) WriteFile(path string) error {
+	data, err := r.JSON()
+	if err != nil {
+		return fmt.Errorf("metrics report: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("metrics report: %w", err)
+	}
+	return nil
+}
+
+// Collector aggregates RunMetrics across the concurrent runs of a pool.
+// It is the one concurrency boundary of the package: per-run counters
+// are plain fields (one goroutine per machine), and the collector's
+// mutex serializes only the end-of-run Record calls.
+type Collector struct {
+	mu        sync.Mutex
+	total     RunMetrics
+	perConfig map[string]*RunMetrics
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{perConfig: make(map[string]*RunMetrics)}
+}
+
+// Record merges one run's metrics into the collector. Safe for
+// concurrent use.
+func (c *Collector) Record(m RunMetrics) {
+	if m.Runs == 0 {
+		m.Runs = 1
+	}
+	key := m.Config + "\x00" + m.Workload + "\x00" + fmt.Sprint(m.Procs)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total.Merge(m)
+	pc, ok := c.perConfig[key]
+	if !ok {
+		pc = &RunMetrics{}
+		c.perConfig[key] = pc
+	}
+	pc.Merge(m)
+}
+
+// Runs returns how many runs have been recorded.
+func (c *Collector) Runs() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total.Runs
+}
+
+// Snapshot assembles the report from everything recorded so far. The
+// caller fills in Runner from the pool's stats.
+func (c *Collector) Snapshot() Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := Report{Schema: ReportSchema, Total: c.total}
+	// The total's Cases map is shared with the accumulator; deep-copy
+	// so the snapshot is immune to later Record calls.
+	rep.Total.Dir.Cases = copyCases(c.total.Dir.Cases)
+	rep.PerConfig = make([]RunMetrics, 0, len(c.perConfig))
+	for _, pc := range c.perConfig {
+		m := *pc
+		m.Dir.Cases = copyCases(pc.Dir.Cases)
+		rep.PerConfig = append(rep.PerConfig, m)
+	}
+	sort.Slice(rep.PerConfig, func(i, j int) bool {
+		a, b := rep.PerConfig[i], rep.PerConfig[j]
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		return a.Procs < b.Procs
+	})
+	return rep
+}
+
+func copyCases(m map[string]uint64) map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

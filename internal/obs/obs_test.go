@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func sample(config, workload string, procs int) RunMetrics {
+	return RunMetrics{
+		Config:       config,
+		Workload:     workload,
+		Procs:        procs,
+		Runs:         1,
+		Instructions: 100,
+		ExecTicks:    10,
+		TotalTicks:   20,
+		Queue:        QueueCounters{Scheduled: 5, Fired: 5, Recycled: 4},
+		Emitter:      EmitterCounters{Batches: 2, Instructions: 100, SlabReuses: 1},
+		L1:           CacheCounters{Hits: 90, Misses: 10},
+		L2:           CacheCounters{Hits: 8, Misses: 2, Writebacks: 1},
+		TLB:          TLBCounters{Hits: 99, Misses: 1, Evictions: 1},
+		Dir:          DirectoryCounters{Reads: 7, Writes: 3, Transitions: 4, Cases: map[string]uint64{"remote-clean": 7}},
+		Net:          NetworkCounters{Messages: 12, Bytes: 768, Hops: 24},
+		OS:           OSCounters{PagesMapped: 3, ColdFaults: 3, Syscalls: 1},
+	}
+}
+
+func TestMergeAccumulatesEveryGroup(t *testing.T) {
+	var m RunMetrics
+	m.Merge(sample("mipsy", "fft", 4))
+	m.Merge(sample("mipsy", "fft", 4))
+	if m.Runs != 2 || m.Config != "mipsy" || m.Workload != "fft" || m.Procs != 4 {
+		t.Fatalf("labels/runs wrong after agreeing merge: %+v", m)
+	}
+	if m.Instructions != 200 || m.Queue.Fired != 10 || m.Emitter.Batches != 4 ||
+		m.L1.Hits != 180 || m.L2.Writebacks != 2 || m.TLB.Evictions != 2 ||
+		m.Dir.Transitions != 8 || m.Net.Hops != 48 || m.OS.Syscalls != 2 {
+		t.Fatalf("counter groups not all accumulated: %+v", m)
+	}
+	if m.Dir.Cases["remote-clean"] != 14 {
+		t.Fatalf("case map not merged: %v", m.Dir.Cases)
+	}
+}
+
+func TestMergeBlanksDisagreeingLabels(t *testing.T) {
+	var m RunMetrics
+	m.Merge(sample("mipsy", "fft", 4))
+	m.Merge(sample("mxs", "ocean", 8))
+	if m.Config != "" || m.Workload != "" || m.Procs != 0 {
+		t.Fatalf("disagreeing labels must blank, got %+v", m)
+	}
+	if m.Runs != 2 {
+		t.Fatalf("Runs = %d, want 2", m.Runs)
+	}
+}
+
+func TestCollectorPerConfigSplit(t *testing.T) {
+	c := NewCollector()
+	c.Record(sample("mipsy", "fft", 4))
+	c.Record(sample("mipsy", "fft", 4))
+	c.Record(sample("solo", "fft", 4))
+	rep := c.Snapshot()
+	if rep.Schema != ReportSchema {
+		t.Fatalf("schema %d", rep.Schema)
+	}
+	if rep.Total.Runs != 3 {
+		t.Fatalf("total runs %d, want 3", rep.Total.Runs)
+	}
+	if len(rep.PerConfig) != 2 {
+		t.Fatalf("per-config rows %d, want 2", len(rep.PerConfig))
+	}
+	// Sorted by config name: mipsy before solo.
+	if rep.PerConfig[0].Config != "mipsy" || rep.PerConfig[0].Runs != 2 {
+		t.Fatalf("row 0 = %+v", rep.PerConfig[0])
+	}
+	if rep.PerConfig[1].Config != "solo" || rep.PerConfig[1].Runs != 1 {
+		t.Fatalf("row 1 = %+v", rep.PerConfig[1])
+	}
+}
+
+func TestCollectorConcurrentRecord(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Record(sample("mipsy", "fft", 4))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Runs(); got != 800 {
+		t.Fatalf("recorded %d runs, want 800", got)
+	}
+}
+
+func TestSnapshotIsolatedFromLaterRecords(t *testing.T) {
+	c := NewCollector()
+	c.Record(sample("mipsy", "fft", 4))
+	rep := c.Snapshot()
+	c.Record(sample("mipsy", "fft", 4))
+	if rep.Total.Dir.Cases["remote-clean"] != 7 {
+		t.Fatalf("snapshot mutated by later Record: %v", rep.Total.Dir.Cases)
+	}
+}
+
+func TestReportWriteFileRoundTrips(t *testing.T) {
+	c := NewCollector()
+	c.Record(sample("mipsy", "fft", 4))
+	rep := c.Snapshot()
+	rep.Runner = RunnerCounters{Jobs: 1, Ran: 1}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if back.Total.TLB.Misses != 1 || back.Runner.Jobs != 1 || back.Total.Dir.Cases["remote-clean"] != 7 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestReportWriteFileBadPath(t *testing.T) {
+	var rep Report
+	if err := rep.WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir", "m.json")); err == nil {
+		t.Fatal("WriteFile to a missing directory must fail")
+	}
+}

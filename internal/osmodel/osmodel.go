@@ -16,6 +16,7 @@ package osmodel
 
 import (
 	"flashsim/internal/emitter"
+	"flashsim/internal/obs"
 	"flashsim/internal/tlb"
 	"flashsim/internal/vm"
 )
@@ -87,6 +88,10 @@ type OS struct {
 	cfg  Config
 	pt   *vm.PageTable
 	tlbs []*tlb.TLB
+	// Plain counters: one OS model belongs to one machine run (one
+	// goroutine).
+	faults   uint64 // charged cold page faults (SimOS)
+	syscalls uint64 // charged system calls (SimOS)
 }
 
 // New builds the OS model over a page table for an n-CPU machine.
@@ -136,16 +141,20 @@ func (o *OS) Translate(node int, va uint64) Translation {
 		tr.PenaltyCycles += o.cfg.TLBHandlerCycles
 	}
 	if cold {
+		o.faults++
 		tr.PenaltyCycles += o.cfg.PageFaultCycles
 	}
 	return tr
 }
 
-// SyscallCost returns the charged CPU cycles for a system call.
+// SyscallCost returns the charged CPU cycles for a system call. The
+// processor models call it exactly once per Syscall instruction, so it
+// doubles as the syscall counter.
 func (o *OS) SyscallCost(aux uint32) uint32 {
 	if o.cfg.Kind == Solo {
 		return 0
 	}
+	o.syscalls++
 	return o.cfg.SyscallCycles
 }
 
@@ -156,6 +165,24 @@ func (o *OS) TLBMisses() uint64 {
 		n += t.Misses()
 	}
 	return n
+}
+
+// TLBStats sums the per-CPU TLB counters (all zero under Solo).
+func (o *OS) TLBStats() obs.TLBCounters {
+	var c obs.TLBCounters
+	for _, t := range o.tlbs {
+		c.Add(t.Stats())
+	}
+	return c
+}
+
+// Counters returns the OS model's end-of-run counters.
+func (o *OS) Counters() obs.OSCounters {
+	return obs.OSCounters{
+		PagesMapped: uint64(o.pt.Mapped()),
+		ColdFaults:  o.faults,
+		Syscalls:    o.syscalls,
+	}
 }
 
 // Allocator builds the physical allocator appropriate for the model

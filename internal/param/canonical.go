@@ -10,11 +10,12 @@ import (
 )
 
 // SchemaVersion tags the canonical encoding. Bump it whenever the
-// registry's path set or value semantics change incompatibly; the tag
-// is hashed into every run fingerprint, so stale on-disk result caches
-// self-invalidate instead of serving results computed under an old
-// Config layout.
-const SchemaVersion = 2
+// registry's path set or value semantics change incompatibly — or when
+// the stored Result record grows fields that old cache entries lack
+// (e.g. the per-run Metrics block); the tag is hashed into every run
+// fingerprint, so stale on-disk result caches self-invalidate instead
+// of serving results computed under an old Config layout.
+const SchemaVersion = 3
 
 // Snapshot is the canonical, versioned form of a machine.Config: every
 // registered parameter by dotted path. The config's Name is a display

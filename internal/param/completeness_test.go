@@ -15,10 +15,11 @@ import (
 // TestEveryConfigFieldIsRegisteredOrExcluded, so no knob can silently
 // bypass the registry.
 var excludedFields = map[string]string{
-	"Name":       "display label, not a parameter; excluded from fingerprints on purpose",
-	"L1D.Name":   "display label on the cache geometry",
-	"L2.Name":    "display label on the cache geometry",
-	"NUMA.Nodes": "derived: machine.New forces it to Procs",
+	"Name":           "display label, not a parameter; excluded from fingerprints on purpose",
+	"L1D.Name":       "display label on the cache geometry",
+	"L2.Name":        "display label on the cache geometry",
+	"NUMA.Nodes":     "derived: machine.New forces it to Procs",
+	"CheckCoherence": "verification flag: cannot change results, so it must not change fingerprints",
 }
 
 // leafFields walks a struct type and returns every leaf field path.

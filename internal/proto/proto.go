@@ -136,6 +136,7 @@ type Directory struct {
 	entries map[uint64]*entry
 	stats   DirStats
 	inval   []int // scratch backing WriteResult.Invalidate
+	checks  bool  // per-operation invariant verification (invariants.go)
 }
 
 type entry struct {
@@ -151,6 +152,7 @@ type DirStats struct {
 	Writes        uint64
 	Writebacks    uint64
 	Invalidations uint64 // individual invalidation messages sent
+	Transitions   uint64 // directory (state, owner) changes
 	CaseCounts    [NumCases]uint64
 	StaleInvals   uint64 // invalidations sent to nodes that silently evicted
 }
@@ -175,6 +177,16 @@ func (d *Directory) Stats() DirStats { return d.stats }
 
 // Store exposes the pointer store (for statistics and tests).
 func (d *Directory) Store() *PointerStore { return d.store }
+
+// transition moves e to (st, owner), counting the change when the pair
+// actually changes (sharing-list-only updates are not transitions).
+func (d *Directory) transition(e *entry, st EntryState, owner int32) {
+	if e.state != st || e.owner != owner {
+		d.stats.Transitions++
+	}
+	e.state = st
+	e.owner = owner
+}
 
 func (d *Directory) entryFor(line uint64) *entry {
 	e, ok := d.entries[line]
@@ -211,8 +223,7 @@ func (d *Directory) Read(line uint64, home, requester int) ReadResult {
 		// Owner is downgraded to Shared; both owner and requester
 		// end up on the sharing list and memory is made clean.
 		prevOwner := int(e.owner)
-		e.state = DirShared
-		e.owner = -1
+		d.transition(e, DirShared, -1)
 		e.head = d.store.Add(e.head, prevOwner)
 		if prevOwner != requester {
 			e.head = d.store.Add(e.head, requester)
@@ -221,15 +232,14 @@ func (d *Directory) Read(line uint64, home, requester int) ReadResult {
 		// Read to an unowned line grants exclusive ownership so a
 		// subsequent write needs no upgrade. The owner sends a
 		// replacement hint (Replace) if it evicts the line clean.
-		e.state = DirDirty
-		e.owner = int32(requester)
+		d.transition(e, DirDirty, int32(requester))
 		res.Exclusive = true
 	default:
-		e.state = DirShared
 		e.head = d.store.Add(e.head, requester)
 	}
 	res.SharersAfter = d.store.Len(e.head)
 	d.stats.CaseCounts[res.Case]++
+	d.check(line, e)
 	return res
 }
 
@@ -244,15 +254,15 @@ func (d *Directory) Replace(line uint64, node int) {
 	switch e.state {
 	case DirDirty:
 		if int(e.owner) == node {
-			e.state = DirUnowned
-			e.owner = -1
+			d.transition(e, DirUnowned, -1)
 		}
 	case DirShared:
 		e.head = d.store.Remove(e.head, node)
 		if e.head < 0 {
-			e.state = DirUnowned
+			d.transition(e, DirUnowned, -1)
 		}
 	}
+	d.check(line, e)
 }
 
 // Write handles a write request (or upgrade) for line homed at home from
@@ -286,9 +296,9 @@ func (d *Directory) Write(line uint64, home, requester int) WriteResult {
 	}
 	d.stats.Invalidations += uint64(len(res.Invalidate))
 	e.head = d.store.Free(e.head)
-	e.state = DirDirty
-	e.owner = int32(requester)
+	d.transition(e, DirDirty, int32(requester))
 	d.stats.CaseCounts[res.Case]++
+	d.check(line, e)
 	return res
 }
 
@@ -298,12 +308,12 @@ func (d *Directory) Writeback(line uint64, owner int) {
 	e := d.entryFor(line)
 	d.stats.Writebacks++
 	if e.state == DirDirty && int(e.owner) == owner {
-		e.state = DirUnowned
-		e.owner = -1
+		d.transition(e, DirUnowned, -1)
 		e.head = d.store.Free(e.head)
 	}
 	// A writeback racing a forwarded request is resolved in the
 	// machine's favor elsewhere; a stale writeback is dropped here.
+	d.check(line, e)
 }
 
 // NoteStaleInval records that an invalidation reached a cache that had

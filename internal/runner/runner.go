@@ -24,6 +24,7 @@ import (
 
 	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
+	"flashsim/internal/obs"
 )
 
 // Job describes one simulation run: a machine configuration and the
@@ -88,6 +89,7 @@ func DefaultWorkers() int { return defaultWorkers }
 type Pool struct {
 	workers int
 	store   *Store
+	metrics *obs.Collector
 
 	jobs   atomicCounter
 	ran    atomicCounter
@@ -117,6 +119,15 @@ func (p *Pool) Workers() int { return p.workers }
 
 // Store returns the pool's memoization store (nil if none).
 func (p *Pool) Store() *Store { return p.store }
+
+// SetMetrics attaches a collector that receives every successful
+// outcome's RunMetrics — fresh runs and cache hits alike, so the report
+// describes the batch the caller asked for, not just the runs that
+// missed the memo store. Call before submitting jobs; nil detaches.
+func (p *Pool) SetMetrics(c *obs.Collector) { p.metrics = c }
+
+// Metrics returns the attached collector (nil if none).
+func (p *Pool) Metrics() *obs.Collector { return p.metrics }
 
 // Run executes jobs and returns their results in submission order. If
 // any job fails, Run returns the error of the earliest failed job (by
@@ -204,7 +215,11 @@ func (p *Pool) runOne(ctx context.Context, j Job) (o Outcome) {
 			// The fingerprint is Name-blind, so a hit may come from a
 			// run under a different label; re-stamp it with ours.
 			res.Config = cfg.Name
+			res.Metrics.Config = cfg.Name
 			p.hits.add(1)
+			if p.metrics != nil {
+				p.metrics.Record(res.Metrics)
+			}
 			return Outcome{Result: res, Cached: true}
 		}
 	}
@@ -218,6 +233,9 @@ func (p *Pool) runOne(ctx context.Context, j Job) (o Outcome) {
 	}
 	if p.store != nil {
 		p.store.Put(key, res)
+	}
+	if p.metrics != nil {
+		p.metrics.Record(res.Metrics)
 	}
 	return Outcome{Result: res}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"flashsim/internal/obs"
 )
 
 // atomicCounter is a monotone int64 counter shared across workers.
@@ -39,6 +41,19 @@ func (p *Pool) Stats() Stats {
 		Failed:    p.failed.get(),
 		Wall:      time.Duration(p.wall.get()),
 		CPU:       time.Duration(p.cpu.get()),
+	}
+}
+
+// Counters converts the snapshot into the metrics report's runner
+// section.
+func (s Stats) Counters() obs.RunnerCounters {
+	return obs.RunnerCounters{
+		Jobs:      s.Jobs,
+		Ran:       s.Ran,
+		CacheHits: s.CacheHits,
+		Failed:    s.Failed,
+		WallNS:    int64(s.Wall),
+		CPUNS:     int64(s.CPU),
 	}
 }
 

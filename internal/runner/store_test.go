@@ -1,0 +1,148 @@
+package runner_test
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/runner"
+)
+
+// cacheFiles returns the store's on-disk entries.
+func cacheFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return matches
+}
+
+// TestStoreCorruptionFallsBackToRecompute pins the store's crash-safety
+// contract: a damaged on-disk entry — truncated mid-write, overwritten
+// with garbage, or emptied — is a cache miss, never an error. The run
+// is recomputed and the entry rewritten with valid JSON.
+func TestStoreCorruptionFallsBackToRecompute(t *testing.T) {
+	corruptions := []struct {
+		name   string
+		mangle func(data []byte) []byte
+	}{
+		{"truncated", func(data []byte) []byte { return data[:len(data)/2] }},
+		{"garbage", func(data []byte) []byte { return []byte("\x00\xffnot json at all{{{") }},
+		{"empty", func(data []byte) []byte { return nil }},
+		{"wrong-shape", func(data []byte) []byte { return []byte(`["a","json","array"]`) }},
+	}
+	for _, c := range corruptions {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			job := runner.Job{Config: testCfg(1), Prog: tinyProg(1, 300), Seed: 9}
+
+			store1, err := runner.NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool1 := runner.New(1, store1)
+			first, err := pool1.Run(context.Background(), []runner.Job{job})
+			if err != nil {
+				t.Fatal(err)
+			}
+			files := cacheFiles(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("expected 1 cache file, found %v", files)
+			}
+			data, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(files[0], c.mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// A fresh process over the damaged directory must recompute.
+			store2, err := runner.NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool2 := runner.New(1, store2)
+			second, err := pool2.Run(context.Background(), []runner.Job{job})
+			if err != nil {
+				t.Fatalf("corrupted entry surfaced as an error: %v", err)
+			}
+			if st := pool2.Stats(); st.Ran != 1 || st.CacheHits != 0 {
+				t.Fatalf("corrupted entry was served as a hit: %+v", st)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Error("recomputed result differs from the original")
+			}
+			if err := store2.Err(); err != nil {
+				t.Fatalf("store reported a disk error: %v", err)
+			}
+			// The rewrite must have healed the entry.
+			healed, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res machine.Result
+			if err := json.Unmarshal(healed, &res); err != nil {
+				t.Fatalf("cache entry not healed: %v", err)
+			}
+
+			// And a third store must now hit.
+			store3, err := runner.NewStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool3 := runner.New(1, store3)
+			if _, err := pool3.Run(context.Background(), []runner.Job{job}); err != nil {
+				t.Fatal(err)
+			}
+			if st := pool3.Stats(); st.CacheHits != 1 {
+				t.Fatalf("healed entry not served as a hit: %+v", st)
+			}
+		})
+	}
+}
+
+// TestStoreGetMissesOnUnreadableEntry drives Store.Get directly: a file
+// that cannot be parsed is a plain miss.
+func TestStoreGetMissesOnUnreadableEntry(t *testing.T) {
+	dir := t.TempDir()
+	store, err := runner.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "somekey.json"), []byte("{\"Exec\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Get("somekey"); ok {
+		t.Fatal("truncated entry must be a miss")
+	}
+	if _, ok := store.Get("neverwritten"); ok {
+		t.Fatal("absent entry must be a miss")
+	}
+}
+
+// TestStorePutSurvivesDiskFailure: when the directory disappears out
+// from under the store, Put keeps serving from memory and remembers the
+// first disk error.
+func TestStorePutSurvivesDiskFailure(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	store, err := runner.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	store.Put("k", machine.Result{Instructions: 42})
+	if res, ok := store.Get("k"); !ok || res.Instructions != 42 {
+		t.Fatalf("memory entry lost after disk failure: %v %v", res, ok)
+	}
+	if store.Err() == nil {
+		t.Fatal("disk failure not reported via Err")
+	}
+}

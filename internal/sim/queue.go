@@ -1,5 +1,7 @@
 package sim
 
+import "flashsim/internal/obs"
+
 // Event is a scheduled callback. Events fire in (At, Prio, Seq) order,
 // which makes simulations deterministic regardless of insertion order:
 // Seq is assigned monotonically by the queue at insertion.
@@ -39,7 +41,14 @@ type Queue struct {
 	free    []*Event // recycled ScheduleFn events
 	nextSeq uint64
 	now     Ticks
+	// stats counters are plain fields: a queue belongs to exactly one
+	// machine run (one goroutine), and atomic increments here would sit
+	// on the simulation's hottest path.
+	stats obs.QueueCounters
 }
+
+// Stats returns the queue's accumulated event counters.
+func (q *Queue) Stats() obs.QueueCounters { return q.stats }
 
 // NewQueue returns an empty event queue at time zero.
 func NewQueue() *Queue { return &Queue{} }
@@ -59,6 +68,7 @@ func (q *Queue) Schedule(at Ticks, prio int32, fn func(now Ticks)) *Event {
 	}
 	e := &Event{At: at, Prio: prio, Fn: fn, seq: q.nextSeq, index: -1}
 	q.nextSeq++
+	q.stats.Scheduled++
 	q.push(e)
 	return e
 }
@@ -78,10 +88,12 @@ func (q *Queue) ScheduleFn(at Ticks, prio int32, h Handler, arg uint64) {
 		q.free[n-1] = nil
 		q.free = q.free[:n-1]
 		*e = Event{At: at, Prio: prio, h: h, arg: arg, seq: q.nextSeq, index: -1, pooled: true}
+		q.stats.Recycled++
 	} else {
 		e = &Event{At: at, Prio: prio, h: h, arg: arg, seq: q.nextSeq, index: -1, pooled: true}
 	}
 	q.nextSeq++
+	q.stats.Scheduled++
 	q.push(e)
 }
 
@@ -125,6 +137,7 @@ func (q *Queue) dispatch() {
 	e := q.heap[0]
 	q.remove(0)
 	q.now = e.At
+	q.stats.Fired++
 	if e.pooled {
 		at, h, arg := e.At, e.h, e.arg
 		e.h = nil

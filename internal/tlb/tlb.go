@@ -13,6 +13,8 @@
 // machine's TLB microbenchmark, reproducing the paper's tuning step.
 package tlb
 
+import "flashsim/internal/obs"
+
 // Config describes a TLB model.
 type Config struct {
 	// Entries is the number of TLB entries (R10000: 64).
@@ -41,8 +43,7 @@ type TLB struct {
 	vps    []uint64 // resident virtual page numbers (unordered)
 	stamps []uint64 // per-slot recency; larger = more recent
 	clock  uint64
-	hits   uint64
-	misses uint64
+	stats  obs.TLBCounters
 }
 
 // New creates an empty TLB.
@@ -64,12 +65,12 @@ func (t *TLB) Config() Config { return t.cfg }
 // whether the access hit.
 func (t *TLB) Access(vp uint64) bool {
 	if i := t.lookup(vp); i >= 0 {
-		t.hits++
+		t.stats.Hits++
 		t.clock++
 		t.stamps[i] = t.clock
 		return true
 	}
-	t.misses++
+	t.stats.Misses++
 	t.insert(vp)
 	return false
 }
@@ -111,6 +112,7 @@ func (t *TLB) Flush() {
 func (t *TLB) insert(vp uint64) {
 	t.clock++
 	if len(t.vps) == t.cfg.Entries {
+		t.stats.Evictions++
 		victim := 0
 		for i, s := range t.stamps {
 			if s < t.stamps[victim] {
@@ -126,10 +128,17 @@ func (t *TLB) insert(vp uint64) {
 }
 
 // Hits returns the number of TLB hits.
-func (t *TLB) Hits() uint64 { return t.hits }
+func (t *TLB) Hits() uint64 { return t.stats.Hits }
 
 // Misses returns the number of TLB misses.
-func (t *TLB) Misses() uint64 { return t.misses }
+func (t *TLB) Misses() uint64 { return t.stats.Misses }
+
+// Evictions returns the number of LRU evictions (misses that displaced
+// a resident entry).
+func (t *TLB) Evictions() uint64 { return t.stats.Evictions }
+
+// Stats returns the accumulated counters.
+func (t *TLB) Stats() obs.TLBCounters { return t.stats }
 
 // Resident returns the number of valid entries.
 func (t *TLB) Resident() int { return len(t.vps) }
