@@ -157,7 +157,7 @@ func benchRun(b *testing.B, cfg machine.Config) {
 func main() {
 	log.SetFlags(0)
 	var (
-		out   = flag.String("out", "", "output path (default BENCH_<date>.json)")
+		out   = flag.String("out", "", `output path, or "-" for stdout (default BENCH_<date>.json)`)
 		date  = flag.String("date", "", "date stamp for the record (default today, YYYY-MM-DD)")
 		match = flag.String("match", "", "run only benchmarks whose name contains this substring")
 	)
@@ -210,6 +210,10 @@ func main() {
 	data, err := json.MarshalIndent(traj, "", "  ")
 	if err != nil {
 		log.Fatal(err)
+	}
+	if path == "-" {
+		os.Stdout.Write(append(data, '\n'))
+		return
 	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		log.Fatal(err)

@@ -1,0 +1,111 @@
+// Command flashd is the simulation daemon: it keeps one warm runner
+// pool (and its memo cache) behind an HTTP API, so repeated
+// experiments pay the process start-up and cache population once.
+//
+//	flashd -addr :8023 -cache-dir /var/cache/flashsim -cache-max-bytes 256MiB
+//
+// Endpoints (see internal/serve):
+//
+//	POST   /v1/runs              submit a run ({base, set, workload}); ?wait=true blocks for the result
+//	POST   /v1/calibrations      submit a closing-the-loop calibration
+//	POST   /v1/figures           submit a paper figure (1-7)
+//	GET    /v1/jobs              list jobs; /v1/jobs/{id} one status
+//	GET    /v1/jobs/{id}/result  fetch a finished job's payload
+//	GET    /v1/jobs/{id}/events  stream status transitions (SSE)
+//	DELETE /v1/jobs/{id}         cancel
+//	GET    /metrics              Prometheus exposition
+//	GET    /v1/params            the tunable-parameter registry
+//	GET    /healthz              liveness ("ok" or "draining")
+//
+// A full queue answers 429 with Retry-After; SIGINT/SIGTERM drains:
+// admissions stop (503), accepted jobs finish, the -metrics-out report
+// is flushed, and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"flashsim/internal/cliutil"
+	"flashsim/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("flashd: ")
+	cf := cliutil.Register()
+	addr := flag.String("addr", ":8023", "listen address")
+	queueDepth := flag.Int("queue-depth", 64, "accepted-but-unstarted jobs to hold before rejecting with 429")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for accepted jobs before cancelling them")
+	flag.Parse()
+	if err := cf.Finish(); err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer func() {
+		if err := cf.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	pool, store, err := cf.Pool()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	s := serve.New(serve.Options{
+		Pool:       pool,
+		QueueDepth: *queueDepth,
+		RetryAfter: *retryAfter,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	shutdown := make(chan os.Signal, 1)
+	stop := cliutil.NotifyShutdown(func(sig os.Signal) { shutdown <- sig })
+	defer stop()
+
+	served := make(chan error, 1)
+	go func() { served <- hs.ListenAndServe() }()
+	if cached := store.MaxBytes(); cached > 0 {
+		log.Printf("cache bounded at %d bytes (%d on disk)", cached, store.DiskBytes())
+	}
+	log.Printf("listening on %s (workers %d, queue depth %d)", *addr, pool.Workers(), *queueDepth)
+
+	select {
+	case err := <-served:
+		// The listener died on its own; nothing accepted is recoverable.
+		log.Print(err)
+		return 1
+	case sig := <-shutdown:
+		log.Printf("%v received; draining (timeout %s)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	drainErr := s.Drain(ctx)
+	cancel()
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	shutdownErr := hs.Shutdown(ctx)
+	cancel()
+	log.Printf("drained; %s", pool.Stats())
+
+	if drainErr != nil || (shutdownErr != nil && !errors.Is(shutdownErr, http.ErrServerClosed)) {
+		if drainErr != nil {
+			log.Print(drainErr)
+		}
+		if shutdownErr != nil {
+			log.Print(shutdownErr)
+		}
+		return 1
+	}
+	return 0
+}

@@ -41,6 +41,9 @@ func main() {
 			log.Print(err)
 		}
 	}()
+	// An interrupt flushes the same artifacts before exiting.
+	stop := cf.ExitOnSignal()
+	defer stop()
 
 	pool, _, err := cf.Pool()
 	if err != nil {

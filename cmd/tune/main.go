@@ -37,6 +37,9 @@ func main() {
 			log.Print(err)
 		}
 	}()
+	// An interrupt flushes the same artifacts before exiting.
+	stop := cf.ExitOnSignal()
+	defer stop()
 
 	var cfg machine.Config
 	switch *simName {

@@ -45,6 +45,9 @@ func main() {
 			log.Print(err)
 		}
 	}()
+	// An interrupt flushes the same artifacts before exiting.
+	stop := cf.ExitOnSignal()
+	defer stop()
 
 	scale := harness.ScaleFull
 	if *quick {

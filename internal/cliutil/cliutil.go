@@ -28,6 +28,7 @@ import (
 const (
 	jobsUsage       = "simulation runs to execute in parallel"
 	cacheDirUsage   = "persist memoized run results in this directory"
+	cacheMaxUsage   = "evict least-recently-used -cache-dir entries beyond this size (bytes, or with a KiB/MiB/GiB suffix; 0 = unbounded)"
 	configUsage     = "apply machine-parameter overrides from this JSON file (a param snapshot or a bare {\"path\": value} object)"
 	setUsage        = "override one machine parameter as path=value (repeatable; see -list-params)"
 	listParamsUsage = "print the tunable-parameter registry and exit"
@@ -41,6 +42,7 @@ const (
 type Flags struct {
 	Jobs       int
 	CacheDir   string
+	CacheMax   sizeFlag
 	ConfigFile string
 	ListParams bool
 	CPUProfile string
@@ -78,6 +80,7 @@ func RegisterOn(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
 	fs.IntVar(&f.Jobs, "jobs", runner.DefaultWorkers(), jobsUsage)
 	fs.StringVar(&f.CacheDir, "cache-dir", "", cacheDirUsage)
+	fs.Var(&f.CacheMax, "cache-max-bytes", cacheMaxUsage)
 	fs.StringVar(&f.ConfigFile, "config", "", configUsage)
 	fs.Var(&f.sets, "set", setUsage)
 	fs.BoolVar(&f.ListParams, "list-params", false, listParamsUsage)
@@ -218,7 +221,7 @@ func (f *Flags) Apply(cfg machine.Config) (machine.Config, error) {
 // When -metrics-out is set, a metrics collector is attached to the pool
 // and its report is written by Close.
 func (f *Flags) Pool() (*runner.Pool, *runner.Store, error) {
-	store, err := runner.NewStore(f.CacheDir)
+	store, err := runner.NewBoundedStore(f.CacheDir, int64(f.CacheMax))
 	if err != nil {
 		return nil, nil, fmt.Errorf("cache: %w", err)
 	}

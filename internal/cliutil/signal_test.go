@@ -1,0 +1,68 @@
+package cliutil_test
+
+import (
+	"flag"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"flashsim/internal/cliutil"
+)
+
+func TestCacheMaxBytesFlagBoundsTheStore(t *testing.T) {
+	for arg, want := range map[string]int64{
+		"4096":   4096,
+		"1KiB":   1 << 10,
+		"64MiB":  64 << 20,
+		"2GB":    2 << 30,
+		" 512k ": 512 << 10,
+		"0":      0,
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		f := cliutil.RegisterOn(fs)
+		if err := fs.Parse([]string{"-cache-dir", t.TempDir(), "-cache-max-bytes", arg}); err != nil {
+			t.Errorf("%q: parse: %v", arg, err)
+			continue
+		}
+		_, store, err := f.Pool()
+		if err != nil {
+			t.Errorf("%q: pool: %v", arg, err)
+			continue
+		}
+		if got := store.MaxBytes(); got != want {
+			t.Errorf("-cache-max-bytes %q: store bound %d, want %d", arg, got, want)
+		}
+	}
+	for _, bad := range []string{"-1", "banana", "12TiB3", ""} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		fs.SetOutput(discard{})
+		cliutil.RegisterOn(fs)
+		if err := fs.Parse([]string{"-cache-max-bytes", bad}); err == nil {
+			t.Errorf("-cache-max-bytes %q: accepted, want error", bad)
+		}
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestNotifyShutdownDeliversSignal: the handler sees the first
+// SIGINT/SIGTERM instead of the runtime's default kill.
+func TestNotifyShutdownDeliversSignal(t *testing.T) {
+	got := make(chan os.Signal, 1)
+	stop := cliutil.NotifyShutdown(func(sig os.Signal) { got <- sig })
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case sig := <-got:
+		if sig != syscall.SIGTERM {
+			t.Errorf("handler got %v, want SIGTERM", sig)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never ran")
+	}
+}

@@ -4,7 +4,10 @@ import (
 	"strings"
 	"testing"
 
+	"bytes"
+
 	"flashsim/internal/harness"
+	"flashsim/internal/hw"
 	"flashsim/internal/machine"
 	"flashsim/internal/param"
 	"flashsim/internal/proto"
@@ -176,6 +179,55 @@ func TestTunedConfigsCached(t *testing.T) {
 		}
 		if b[i].Procs != 4 {
 			t.Errorf("config %q procs %d", b[i].Name, b[i].Procs)
+		}
+	}
+}
+
+// TestOverrideNeverTouchesHardwareReference pins the asymmetry the
+// Override doc promises: the hook rewrites every simulator
+// configuration an experiment builds, but the machine being predicted
+// stays fixed. A grossly wrong override must move the simulators'
+// measurements while the hardware reference keeps both its canonical
+// parameters and its measured numbers.
+func TestOverrideNeverTouchesHardwareReference(t *testing.T) {
+	baseline, _, err := harness.NewSession(harness.ScaleQuick).ExperimentTLBCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := harness.NewSession(harness.ScaleQuick)
+	calls := 0
+	s.Override = func(cfg machine.Config) (machine.Config, error) {
+		calls++
+		if cfg.OS.TLBHandlerCycles == 0 {
+			return cfg, nil // Solo keeps no TLB
+		}
+		err := param.SetString(&cfg, "os.tlb.handler_cycles", "500")
+		return cfg, err
+	}
+
+	d, _, err := s.ExperimentTLBCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("override hook never invoked; the guarantee is vacuous")
+	}
+	if d.HWCycles != baseline.HWCycles {
+		t.Errorf("hardware measurement moved under a simulator override: %.1f, baseline %.1f",
+			d.HWCycles, baseline.HWCycles)
+	}
+	if d.MipsyCycles < 400 {
+		t.Errorf("override did not reach the simulator: Mipsy measures %.1f cycles, want ~500", d.MipsyCycles)
+	}
+
+	// The reference's configuration bytes are untouched: still exactly
+	// the stock hardware model at every size an experiment might ask.
+	for _, procs := range []int{1, 4, 16} {
+		got := param.Canonical(s.Ref.ConfigAt(procs))
+		want := param.Canonical(hw.Config(procs, true))
+		if !bytes.Equal(got, want) {
+			t.Errorf("reference config at %dp differs from stock hardware model", procs)
 		}
 	}
 }

@@ -1,0 +1,178 @@
+package runner_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"flashsim/internal/runner"
+)
+
+// TestFlightCoalescesIdenticalSubmissions pins the serving dedup
+// contract: N concurrent submissions of one identical job execute
+// machine.Run exactly once, and every caller gets the same result.
+func TestFlightCoalescesIdenticalSubmissions(t *testing.T) {
+	// A serial pool busy with a long blocker keeps the coalesced job
+	// queued on the pool semaphore, holding its in-flight key open
+	// until every caller has verifiably joined — no sleep races.
+	pool := runner.New(1, nil) // no store: coalescing alone must dedup
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		pool.RunOne(context.Background(), runner.Job{Config: testCfg(1), Prog: tinyProg(1, 2_000_000), Seed: 99})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the blocker take the worker
+
+	f := runner.NewFlight(pool, nil)
+	job := runner.Job{Config: testCfg(1), Prog: tinyProg(1, 20000), Seed: 7}
+
+	const callers = 8
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		outs      []runner.Outcome
+		coalesced int
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, joined := f.Run(context.Background(), job)
+			mu.Lock()
+			outs = append(outs, out)
+			if joined {
+				coalesced++
+			}
+			mu.Unlock()
+		}()
+	}
+	// Every caller must register against the one in-flight key before
+	// the blocker can possibly release it.
+	for deadline := time.Now().Add(10 * time.Second); f.Coalesced() != callers-1; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d callers joined the flight", f.Coalesced())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-blockerDone:
+		t.Fatal("blocker finished before the callers joined; test lost its window")
+	default:
+	}
+	wg.Wait()
+	<-blockerDone
+
+	// All callers joined one in-flight key, so the pool must have seen
+	// exactly one execution besides the blocker. The Ran counter is the
+	// ground truth for how many machine.Run calls happened.
+	if ran := pool.Stats().Ran; ran != 2 {
+		t.Fatalf("pool ran %d executions (1 blocker + coalesced flight), want 2", ran)
+	}
+	if coalesced != callers-1 {
+		t.Errorf("%d callers coalesced, want %d", coalesced, callers-1)
+	}
+	if f.Coalesced() != int64(callers-1) {
+		t.Errorf("Coalesced() = %d, want %d", f.Coalesced(), callers-1)
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("caller %d: %v", i, o.Err)
+		}
+		if o.Result.Exec != outs[0].Result.Exec {
+			t.Errorf("caller %d saw a different result", i)
+		}
+	}
+}
+
+// TestFlightDistinctJobsDoNotCoalesce: different seeds are different
+// fingerprints and must each run.
+func TestFlightDistinctJobsDoNotCoalesce(t *testing.T) {
+	pool := runner.New(4, nil)
+	f := runner.NewFlight(pool, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			out, _ := f.Run(context.Background(), runner.Job{Config: testCfg(1), Prog: tinyProg(1, 1000), Seed: seed})
+			if out.Err != nil {
+				t.Errorf("seed %d: %v", seed, out.Err)
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	if ran := pool.Stats().Ran; ran != 4 {
+		t.Errorf("pool ran %d, want 4 distinct runs", ran)
+	}
+}
+
+// TestFlightWaiterCancellationLeavesRunAlive: a waiter abandoning under
+// its own context gets that context's error, while the remaining waiter
+// still receives the completed result.
+func TestFlightWaiterCancellationLeavesRunAlive(t *testing.T) {
+	pool := runner.New(2, nil)
+	f := runner.NewFlight(pool, nil)
+	job := runner.Job{Config: testCfg(1), Prog: tinyProg(1, 200000), Seed: 3}
+
+	done := make(chan runner.Outcome, 1)
+	go func() {
+		out, _ := f.Run(context.Background(), job)
+		done <- out
+	}()
+	// Give the leader a moment to register the in-flight key, then join
+	// with an already-cancelled context.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, _ := f.Run(ctx, job)
+	if out.Err == nil {
+		t.Error("cancelled waiter got no error")
+	}
+	select {
+	case leader := <-done:
+		if leader.Err != nil {
+			t.Fatalf("leader run failed after waiter abandoned: %v", leader.Err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("leader never completed")
+	}
+}
+
+// TestFlightAllWaitersGoneCancelsRun: when every caller abandons before
+// the run starts, the queued execution is cancelled instead of running
+// to completion on nobody's behalf.
+func TestFlightAllWaitersGoneCancelsRun(t *testing.T) {
+	// A serial pool busy with a long job forces the flight's execution
+	// to sit queued behind it, so cancellation lands before its start.
+	pool := runner.New(1, nil)
+	blocker := make(chan struct{})
+	go func() {
+		defer close(blocker)
+		pool.RunOne(context.Background(), runner.Job{Config: testCfg(1), Prog: tinyProg(1, 2_000_000), Seed: 9})
+	}()
+	time.Sleep(10 * time.Millisecond) // let the blocker take the worker
+
+	// The only waiter joins with an already-dead context: it abandons
+	// immediately, and the last-out refcount must cancel the queued run.
+	f := runner.NewFlight(pool, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, _ := f.Run(ctx, runner.Job{Config: testCfg(1), Prog: tinyProg(1, 1000), Seed: 10})
+	if out.Err == nil {
+		t.Error("abandoned run returned a result")
+	}
+	<-blocker
+
+	// The queued execution must have died on its cancelled context, not
+	// simulated for nobody: one real run (the blocker), one failure.
+	for deadline := time.Now().Add(10 * time.Second); pool.Stats().Jobs != 2; {
+		if time.Now().After(deadline) {
+			t.Fatalf("flight execution never settled: %+v", pool.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st := pool.Stats(); st.Ran != 1 || st.Failed != 1 {
+		t.Errorf("stats after abandon: ran %d failed %d, want 1 ran (blocker) and 1 failed (cancelled flight)", st.Ran, st.Failed)
+	}
+}

@@ -90,6 +90,10 @@ type Pool struct {
 	workers int
 	store   *Store
 	metrics *obs.Collector
+	// sem bounds the concurrency of single-job submissions (RunOne) at
+	// the pool's worker count; batch submissions (RunAll) bound
+	// themselves by spawning exactly `workers` goroutines.
+	sem chan struct{}
 
 	jobs   atomicCounter
 	ran    atomicCounter
@@ -106,7 +110,7 @@ func New(workers int, store *Store) *Pool {
 	if workers <= 0 {
 		workers = defaultWorkers
 	}
-	return &Pool{workers: workers, store: store}
+	return &Pool{workers: workers, store: store, sem: make(chan struct{}, workers)}
 }
 
 // Serial returns a one-worker pool with no store — the behavior of
@@ -144,6 +148,28 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]machine.Result, error) {
 		results[i] = o.Result
 	}
 	return results, nil
+}
+
+// RunOne executes a single job synchronously — the submission shape of
+// a serving front end, where requests arrive one at a time rather than
+// as a pre-assembled batch. Concurrent RunOne calls share the pool's
+// worker bound: at most `workers` of them simulate at once, the rest
+// wait for a slot. Cancellation of ctx fails the job while it is
+// waiting or before it starts; a simulation already executing runs to
+// completion (the event loop has no preemption points), so a deadline
+// bounds queue wait, not run time.
+func (p *Pool) RunOne(ctx context.Context, j Job) Outcome {
+	t0 := time.Now()
+	defer func() { p.wall.add(int64(time.Since(t0))) }()
+	select {
+	case p.sem <- struct{}{}:
+		defer func() { <-p.sem }()
+		return p.runOne(ctx, j)
+	case <-ctx.Done():
+		p.jobs.add(1)
+		p.failed.add(1)
+		return Outcome{Err: ctx.Err()}
+	}
 }
 
 // RunAll executes jobs and returns one Outcome per job, in submission

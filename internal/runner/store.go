@@ -1,10 +1,13 @@
 package runner
 
 import (
+	"container/list"
 	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"flashsim/internal/machine"
@@ -18,44 +21,134 @@ import (
 // runs -figure 1 produced, and the Calibrator's repeated snbench
 // probes hit cache across simulator configurations.
 //
+// A persistent store may be byte-bounded (NewBoundedStore, the CLIs'
+// -cache-max-bytes): when the on-disk footprint exceeds the bound, the
+// least-recently-accessed entries are evicted — file and memory entry
+// together, so an evicted key is a clean miss everywhere — until the
+// footprint fits. Access order is updated by both hits and writes, and
+// an existing cache directory is inventoried at open (ordered by file
+// modification time), so a daemon restarted over an old cache evicts
+// sensibly from the start.
+//
 // A Store is safe for concurrent use. Disk writes are best-effort: the
 // first I/O error is retained (Err) and the store keeps serving from
 // memory.
 type Store struct {
-	dir string
+	dir      string
+	maxBytes int64
 
 	mu      sync.RWMutex
 	mem     map[string]machine.Result
 	diskErr error
+
+	// LRU bookkeeping, live only when maxBytes > 0 and dir != "".
+	// lru front = most recently accessed; elem indexes keys into it.
+	lru       *list.List
+	elem      map[string]*list.Element
+	diskBytes int64
+	evictions int64
+}
+
+// lruEntry is one tracked on-disk entry.
+type lruEntry struct {
+	key  string
+	size int64
 }
 
 // NewStore returns a store rooted at dir; dir == "" keeps the store
 // purely in-memory. The directory is created if missing.
-func NewStore(dir string) (*Store, error) {
+func NewStore(dir string) (*Store, error) { return NewBoundedStore(dir, 0) }
+
+// NewBoundedStore is NewStore with an on-disk byte budget; maxBytes <= 0
+// means unbounded. Entries already present under dir are counted
+// against the budget (and evicted oldest-first if it is already
+// exceeded).
+func NewBoundedStore(dir string, maxBytes int64) (*Store, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	return &Store{dir: dir, mem: make(map[string]machine.Result)}, nil
+	s := &Store{dir: dir, mem: make(map[string]machine.Result)}
+	if dir != "" && maxBytes > 0 {
+		s.maxBytes = maxBytes
+		s.lru = list.New()
+		s.elem = make(map[string]*list.Element)
+		s.scan()
+		s.mu.Lock()
+		s.evict()
+		s.mu.Unlock()
+	}
+	return s, nil
+}
+
+// scan inventories pre-existing cache files into the LRU, oldest
+// modification time least recent. Unreadable entries are skipped (they
+// will surface as misses and be rewritten or evicted later).
+func (s *Store) scan() {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	type file struct {
+		key  string
+		size int64
+		mod  int64
+	}
+	var files []file
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, file{
+			key:  strings.TrimSuffix(name, ".json"),
+			size: info.Size(),
+			mod:  info.ModTime().UnixNano(),
+		})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod < files[j].mod })
+	for _, f := range files {
+		s.elem[f.key] = s.lru.PushFront(&lruEntry{key: f.key, size: f.size})
+		s.diskBytes += f.size
+	}
 }
 
 // Dir returns the on-disk root ("" for a memory-only store).
 func (s *Store) Dir() string { return s.dir }
+
+// MaxBytes returns the on-disk budget (0 for unbounded).
+func (s *Store) MaxBytes() int64 { return s.maxBytes }
 
 // path returns the file backing a key.
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
+// bounded reports whether LRU bookkeeping is live.
+func (s *Store) bounded() bool { return s.maxBytes > 0 && s.dir != "" }
+
 // Get returns the memoized result for key, consulting memory first and
-// then disk. A disk hit is promoted into memory.
+// then disk. A disk hit is promoted into memory. Either hit refreshes
+// the key's access recency in a bounded store.
 func (s *Store) Get(key string) (machine.Result, bool) {
 	s.mu.RLock()
 	res, ok := s.mem[key]
 	s.mu.RUnlock()
-	if ok || s.dir == "" {
-		return res, ok
+	if ok {
+		if s.bounded() {
+			s.mu.Lock()
+			s.touch(key, 0)
+			s.mu.Unlock()
+		}
+		return res, true
+	}
+	if s.dir == "" {
+		return machine.Result{}, false
 	}
 	data, err := os.ReadFile(s.path(key))
 	if err != nil {
@@ -69,35 +162,89 @@ func (s *Store) Get(key string) (machine.Result, bool) {
 	}
 	s.mu.Lock()
 	s.mem[key] = disk
+	if s.bounded() {
+		s.touch(key, int64(len(data)))
+	}
 	s.mu.Unlock()
 	return disk, true
 }
 
-// Put memoizes a result under key, writing through to disk when the
-// store is persistent.
-func (s *Store) Put(key string, res machine.Result) {
-	s.mu.Lock()
-	s.mem[key] = res
-	s.mu.Unlock()
-	if s.dir == "" {
+// touch moves key to the front of the LRU, inserting it (with size)
+// when untracked. Caller holds mu.
+func (s *Store) touch(key string, size int64) {
+	if el, ok := s.elem[key]; ok {
+		s.lru.MoveToFront(el)
 		return
 	}
-	if err := s.writeFile(key, res); err != nil {
+	s.elem[key] = s.lru.PushFront(&lruEntry{key: key, size: size})
+	s.diskBytes += size
+}
+
+// Put memoizes a result under key, writing through to disk when the
+// store is persistent and evicting least-recently-accessed entries
+// when a bounded store overflows.
+func (s *Store) Put(key string, res machine.Result) {
+	if s.dir == "" {
 		s.mu.Lock()
+		s.mem[key] = res
+		s.mu.Unlock()
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		s.mu.Lock()
+		s.mem[key] = res
 		if s.diskErr == nil {
 			s.diskErr = err
 		}
 		s.mu.Unlock()
+		return
+	}
+	werr := s.writeFile(key, data)
+	s.mu.Lock()
+	s.mem[key] = res
+	if werr != nil {
+		if s.diskErr == nil {
+			s.diskErr = werr
+		}
+	} else if s.bounded() {
+		if el, ok := s.elem[key]; ok {
+			// Overwrite: replace the tracked size in place.
+			e := el.Value.(*lruEntry)
+			s.diskBytes += int64(len(data)) - e.size
+			e.size = int64(len(data))
+			s.lru.MoveToFront(el)
+		} else {
+			s.touch(key, int64(len(data)))
+		}
+		s.evict()
+	}
+	s.mu.Unlock()
+}
+
+// evict removes least-recently-accessed entries (disk file and memory
+// entry both) until the on-disk footprint fits the budget. Caller
+// holds mu. A single entry larger than the whole budget is evicted
+// too — the bound is absolute, not per-entry best-effort.
+func (s *Store) evict() {
+	for s.diskBytes > s.maxBytes {
+		el := s.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*lruEntry)
+		s.lru.Remove(el)
+		delete(s.elem, e.key)
+		delete(s.mem, e.key)
+		s.diskBytes -= e.size
+		s.evictions++
+		os.Remove(s.path(e.key))
 	}
 }
 
 // writeFile persists one entry atomically (temp file + rename), so a
 // concurrent reader never observes a partial entry.
-func (s *Store) writeFile(key string, res machine.Result) error {
-	data, err := json.Marshal(res)
-	if err != nil {
-		return err
-	}
+func (s *Store) writeFile(key string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
 	if err != nil {
 		return err
@@ -116,6 +263,21 @@ func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.mem)
+}
+
+// DiskBytes returns the tracked on-disk footprint (0 when unbounded —
+// an unbounded store keeps no size bookkeeping).
+func (s *Store) DiskBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.diskBytes
+}
+
+// Evictions returns how many entries a bounded store has evicted.
+func (s *Store) Evictions() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.evictions
 }
 
 // Err returns the first disk I/O error encountered, if any. The store

@@ -1,0 +1,178 @@
+package runner_test
+
+import (
+	"context"
+	"os"
+	"testing"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/runner"
+)
+
+// fillStore runs n distinct jobs through a fresh pool over store and
+// returns their jobs and results, submission order = access order
+// (job i accessed before job i+1).
+func fillStore(t *testing.T, store *runner.Store, n int) ([]runner.Job, []machine.Result) {
+	t.Helper()
+	jobs := make([]runner.Job, n)
+	for i := range jobs {
+		jobs[i] = runner.Job{Config: testCfg(1), Prog: tinyProg(1, 300+i), Seed: uint64(i + 1)}
+	}
+	pool := runner.New(1, store)
+	results, err := pool.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs, results
+}
+
+// entrySize measures how many bytes one memoized entry occupies on
+// disk, so bounds in the tests scale with the Result encoding instead
+// of hard-coding byte counts.
+func entrySize(t *testing.T) int64 {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := runner.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, store, 1)
+	files := cacheFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("probe store holds %d files", len(files))
+	}
+	info, err := osStat(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestBoundedStoreEvictsLRUWithoutCorruption is the satellite's pinned
+// contract: a byte-bounded store evicts by access recency, the disk
+// footprint stays under the bound, and every surviving entry still
+// round-trips to the exact Result it memoized.
+func TestBoundedStoreEvictsLRUWithoutCorruption(t *testing.T) {
+	size := entrySize(t)
+	dir := t.TempDir()
+	// Budget for ~4 entries, then insert 10.
+	budget := 4*size + size/2
+	store, err := runner.NewBoundedStore(dir, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, want := fillStore(t, store, 10)
+
+	if store.Evictions() == 0 {
+		t.Fatal("no evictions despite overflow")
+	}
+	if db := store.DiskBytes(); db > budget {
+		t.Errorf("disk footprint %d exceeds budget %d", db, budget)
+	}
+	if files := cacheFiles(t, dir); len(files) > 5 {
+		t.Errorf("%d files survive a ~4-entry budget", len(files))
+	}
+
+	// Survivors must be exact: read every remaining entry through a
+	// FRESH store (so hits come from disk, not the writer's memory) and
+	// compare to the original results.
+	reread, err := runner.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	survivors := 0
+	for i, j := range jobs {
+		res, ok := reread.Get(j.Fingerprint())
+		if !ok {
+			continue
+		}
+		survivors++
+		got, wantRes := res, want[i]
+		if got.Exec != wantRes.Exec || got.Instructions != wantRes.Instructions {
+			t.Errorf("job %d: surviving entry corrupted: exec %v/%v instr %d/%d",
+				i, got.Exec, wantRes.Exec, got.Instructions, wantRes.Instructions)
+		}
+	}
+	if survivors == 0 {
+		t.Error("eviction left no survivors at all")
+	}
+
+	// Evicted entries are clean misses for the bounded store itself
+	// too: re-running every job must recompute exactly the evicted ones
+	// and return bit-identical results (determinism is the oracle).
+	pool := runner.New(1, store)
+	again, err := pool.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Exec != again[i].Exec {
+			t.Errorf("job %d: recomputed result differs after eviction", i)
+		}
+	}
+}
+
+// TestBoundedStoreAccessRecencyDecidesVictims: touching an old entry
+// promotes it over untouched newer ones.
+func TestBoundedStoreAccessRecencyDecidesVictims(t *testing.T) {
+	size := entrySize(t)
+	dir := t.TempDir()
+	store, err := runner.NewBoundedStore(dir, 3*size+size/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, _ := fillStore(t, store, 3) // fits: 0,1,2 resident
+
+	// Touch job 0 so job 1 is now the least recently accessed.
+	if _, ok := store.Get(jobs[0].Fingerprint()); !ok {
+		t.Fatal("warm entry missing")
+	}
+	// Insert a fourth entry; job 1 must be the victim.
+	extra := runner.Job{Config: testCfg(1), Prog: tinyProg(1, 900), Seed: 99}
+	if out := runner.New(1, store).RunOne(context.Background(), extra); out.Err != nil {
+		t.Fatal(out.Err)
+	}
+	if _, ok := store.Get(jobs[1].Fingerprint()); ok {
+		t.Error("least-recently-accessed entry survived")
+	}
+	for _, j := range []runner.Job{jobs[0], jobs[2], extra} {
+		if _, ok := store.Get(j.Fingerprint()); !ok {
+			t.Errorf("recently-accessed entry %s was evicted", j.Prog.FullName())
+		}
+	}
+}
+
+// TestBoundedStoreInventoriesExistingDir: reopening a directory counts
+// the old entries against the budget and evicts oldest-first.
+func TestBoundedStoreInventoriesExistingDir(t *testing.T) {
+	size := entrySize(t)
+	dir := t.TempDir()
+	unbounded, err := runner.NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillStore(t, unbounded, 6)
+	if n := len(cacheFiles(t, dir)); n != 6 {
+		t.Fatalf("seed dir holds %d files", n)
+	}
+
+	bounded, err := runner.NewBoundedStore(dir, 2*size+size/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cacheFiles(t, dir)); n > 3 {
+		t.Errorf("reopen kept %d files over a ~2-entry budget", n)
+	}
+	if bounded.DiskBytes() > bounded.MaxBytes() {
+		t.Errorf("footprint %d over budget %d after reopen", bounded.DiskBytes(), bounded.MaxBytes())
+	}
+}
+
+// osStat returns a file's size.
+func osStat(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}

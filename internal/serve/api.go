@@ -1,0 +1,285 @@
+// Package serve is the network front end of the stack: a
+// simulation-as-a-service daemon layer exposing the runner pool, the
+// memo store, the parameter registry, the calibrator, and the paper's
+// figure harness over HTTP. cmd/flashd is a thin main around it.
+//
+// The server behaves like an inference server, not a batch CLI:
+//
+//   - admission control — a bounded job queue; a full queue rejects
+//     with 429 and a Retry-After header instead of buffering without
+//     bound;
+//   - request dedup — submissions are keyed by runner.Fingerprint, so
+//     identical concurrent requests coalesce onto one record and one
+//     pool execution (and identical later requests hit the memo
+//     store);
+//   - deadlines and cancellation — a request's timeout travels a
+//     context chain into the pool, and DELETE cancels a queued job;
+//   - streaming — job status is observable by polling or by SSE;
+//   - graceful drain — Drain stops admissions (503), lets every
+//     accepted job finish, and leaves results fetchable until
+//     shutdown.
+package serve
+
+import (
+	"fmt"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/core"
+	"flashsim/internal/emitter"
+	"flashsim/internal/hw"
+	"flashsim/internal/machine"
+	"flashsim/internal/param"
+	"flashsim/internal/proto"
+	"flashsim/internal/snbench"
+)
+
+// JobKind discriminates what a job computes.
+type JobKind string
+
+const (
+	KindRun         JobKind = "run"
+	KindCalibration JobKind = "calibration"
+	KindFigure      JobKind = "figure"
+)
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the poll/stream view of one job.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Kind  JobKind  `json:"kind"`
+	State JobState `json:"state"`
+	// Fingerprint is the dedup key (runner.Fingerprint for runs).
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Cached reports the result came from the memo store; Coalesced
+	// that this submission joined an already-active identical job.
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Timestamps are Unix milliseconds; zero = not reached yet.
+	SubmittedMS int64 `json:"submitted_ms,omitempty"`
+	StartedMS   int64 `json:"started_ms,omitempty"`
+	FinishedMS  int64 `json:"finished_ms,omitempty"`
+}
+
+// WorkloadSpec selects a program by name plus parameters. Zero-valued
+// fields take the workload's documented defaults (apps default to
+// prefetching like the SPLASH-2 binaries; fft defaults to the
+// TLB-blocked fix).
+type WorkloadSpec struct {
+	// Name is one of: fft, radix, lu, ocean, snbench.dependent-loads,
+	// snbench.tlb-timer, snbench.restart.
+	Name string `json:"name"`
+
+	// fft
+	LogN       int   `json:"logn,omitempty"`
+	TLBBlocked *bool `json:"tlb_blocked,omitempty"`
+	Prefetch   *bool `json:"prefetch,omitempty"`
+	// radix
+	Keys     int  `json:"keys,omitempty"`
+	Radix    int  `json:"radix,omitempty"`
+	Unplaced bool `json:"unplaced,omitempty"`
+	// lu / ocean
+	N     int `json:"n,omitempty"`
+	Grids int `json:"grids,omitempty"`
+	Iters int `json:"iters,omitempty"`
+	// snbench.dependent-loads: Case names a proto.Case (local-clean,
+	// local-dirty-remote, remote-clean, remote-dirty-home,
+	// remote-dirty-remote); Lines the chase length.
+	Case  string `json:"case,omitempty"`
+	Lines int    `json:"lines,omitempty"`
+	// snbench.tlb-timer
+	Pages    int `json:"pages,omitempty"`
+	FitPages int `json:"fit_pages,omitempty"`
+	Rounds   int `json:"rounds,omitempty"`
+}
+
+// boolOr returns *p or def.
+func boolOr(p *bool, def bool) bool {
+	if p == nil {
+		return def
+	}
+	return *p
+}
+
+// Program builds the workload at the given thread count.
+func (w WorkloadSpec) Program(procs int) (emitter.Program, error) {
+	switch w.Name {
+	case "fft":
+		return apps.FFT(apps.FFTOpts{
+			LogN:       w.LogN,
+			Procs:      procs,
+			TLBBlocked: boolOr(w.TLBBlocked, true),
+			Prefetch:   boolOr(w.Prefetch, true),
+		}), nil
+	case "radix":
+		return apps.Radix(apps.RadixOpts{
+			Keys:     w.Keys,
+			Radix:    w.Radix,
+			Procs:    procs,
+			Unplaced: w.Unplaced,
+		}), nil
+	case "lu":
+		return apps.LU(apps.LUOpts{
+			N:        w.N,
+			Procs:    procs,
+			Prefetch: boolOr(w.Prefetch, true),
+		}), nil
+	case "ocean":
+		return apps.Ocean(apps.OceanOpts{
+			N:        w.N,
+			Grids:    w.Grids,
+			Iters:    w.Iters,
+			Procs:    procs,
+			Prefetch: boolOr(w.Prefetch, true),
+		}), nil
+	case "snbench.dependent-loads":
+		pc, err := parseCase(w.Case)
+		if err != nil {
+			return emitter.Program{}, err
+		}
+		return snbench.DependentLoads(pc, w.Lines), nil
+	case "snbench.tlb-timer":
+		return snbench.TLBTimer(w.Pages, w.FitPages, w.Rounds), nil
+	case "snbench.restart":
+		return snbench.Restart(w.Lines), nil
+	case "":
+		return emitter.Program{}, fmt.Errorf("workload name missing")
+	default:
+		return emitter.Program{}, fmt.Errorf("unknown workload %q", w.Name)
+	}
+}
+
+// parseCase resolves a protocol-case name.
+func parseCase(name string) (proto.Case, error) {
+	for c := proto.Case(0); c < proto.NumCases; c++ {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown protocol case %q (want e.g. %q)", name, proto.RemoteClean.String())
+}
+
+// ConfigSpec selects a simulator configuration: a named base plus
+// param-registry deltas, the same {base, set} shape the CLIs express
+// with -sim/-set.
+type ConfigSpec struct {
+	// Base is hw, simos-mipsy, simos-mxs, or solo-mipsy.
+	Base string `json:"base"`
+	// MHz is the Mipsy clock (default 150; ignored by hw and mxs).
+	MHz int `json:"mhz,omitempty"`
+	// Procs is the processor count (default 1).
+	Procs int `json:"procs,omitempty"`
+	// Seed overrides the configuration's jitter seed when nonzero.
+	Seed uint64 `json:"seed,omitempty"`
+	// Scaled selects the 1/16-of-paper cache geometry (default true).
+	Scaled *bool `json:"scaled,omitempty"`
+	// Set is the parameter-override list, validated against the
+	// registry exactly like the CLIs' -set flags.
+	Set []param.Setting `json:"set,omitempty"`
+}
+
+// Config materializes the spec through core's constructors and the
+// param registry.
+func (c ConfigSpec) Config() (machine.Config, error) {
+	procs := c.Procs
+	if procs == 0 {
+		procs = 1
+	}
+	mhz := c.MHz
+	if mhz == 0 {
+		mhz = 150
+	}
+	scaled := boolOr(c.Scaled, true)
+	var cfg machine.Config
+	switch c.Base {
+	case "hw", "flash":
+		cfg = hw.Config(procs, scaled)
+	case "simos-mipsy":
+		cfg = core.SimOSMipsy(procs, mhz, scaled)
+	case "simos-mxs":
+		cfg = core.SimOSMXS(procs, scaled)
+	case "solo-mipsy":
+		cfg = core.SoloMipsy(procs, mhz, scaled)
+	case "":
+		return machine.Config{}, fmt.Errorf("base config missing")
+	default:
+		return machine.Config{}, fmt.Errorf("unknown base %q (want hw, simos-mipsy, simos-mxs, or solo-mipsy)", c.Base)
+	}
+	if c.Seed != 0 {
+		cfg.Seed = c.Seed
+	}
+	return param.ApplySettings(cfg, c.Set)
+}
+
+// RunRequest submits one simulation run.
+type RunRequest struct {
+	ConfigSpec
+	Workload WorkloadSpec `json:"workload"`
+	// TimeoutMS bounds the job's queue-wait + start; 0 = no deadline.
+	// A run already executing is not preempted (the event loop has no
+	// preemption points), so this bounds waiting, not simulating.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is the completed payload of a run job.
+type RunResponse struct {
+	Job    JobStatus      `json:"job"`
+	Result machine.Result `json:"result"`
+}
+
+// CalibrationRequest submits a closing-the-loop calibration of the
+// specified simulator against the hardware reference.
+type CalibrationRequest struct {
+	ConfigSpec
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// CalibrationResponse is the completed payload of a calibration job.
+type CalibrationResponse struct {
+	Job JobStatus `json:"job"`
+	// Deltas is the tuned-parameter diff by registry path; Report the
+	// per-adjustment fitting log; Diff its text rendering.
+	Deltas []param.Delta     `json:"deltas"`
+	Report []core.Adjustment `json:"report"`
+	Diff   string            `json:"diff"`
+}
+
+// FigureRequest submits one of the paper's figures (1-7).
+type FigureRequest struct {
+	Figure int `json:"figure"`
+	// Quick selects the reduced problem sizes.
+	Quick     bool  `json:"quick,omitempty"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// FigureResponse is the completed payload of a figure job.
+type FigureResponse struct {
+	Job    JobStatus `json:"job"`
+	Figure int       `json:"figure"`
+	// Text is the harness's rendering; Data the structured result (a
+	// core.CompareResult for figures 1-4, []core.Curve for 5-7).
+	Text string `json:"text"`
+	Data any    `json:"data,omitempty"`
+}
+
+// ErrorResponse is the JSON body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterS echoes the Retry-After header on 429s.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
+}

@@ -1,0 +1,108 @@
+package client_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"flashsim/internal/runner"
+	"flashsim/internal/serve"
+	"flashsim/internal/serve/client"
+)
+
+func newPair(t *testing.T, opts serve.Options) (*serve.Server, *client.Client) {
+	t.Helper()
+	if opts.Pool == nil {
+		opts.Pool = runner.New(2, nil)
+	}
+	s := serve.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, client.New(ts.URL, nil)
+}
+
+func restartReq(lines int) serve.RunRequest {
+	return serve.RunRequest{
+		ConfigSpec: serve.ConfigSpec{Base: "simos-mipsy"},
+		Workload:   serve.WorkloadSpec{Name: "snbench.restart", Lines: lines},
+	}
+}
+
+// TestClientRunAndWatch drives the full client surface against a live
+// server: synchronous run, async submit + SSE watch, job listing,
+// result fetch, health, and metrics.
+func TestClientRunAndWatch(t *testing.T) {
+	_, c := newPair(t, serve.Options{})
+	ctx := t.Context()
+
+	run, err := c.Run(ctx, restartReq(32))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if run.Job.State != serve.StateDone || run.Result.Instructions == 0 {
+		t.Fatalf("Run returned %+v", run.Job)
+	}
+
+	st, err := c.SubmitRun(ctx, restartReq(64))
+	if err != nil {
+		t.Fatalf("SubmitRun: %v", err)
+	}
+	var seen int
+	final, err := c.Watch(ctx, st.ID, func(serve.JobStatus) { seen++ })
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	if final.State != serve.StateDone || seen == 0 {
+		t.Errorf("Watch ended with state %s after %d events", final.State, seen)
+	}
+
+	res, err := c.RunResult(ctx, st.ID)
+	if err != nil || res.Result.Instructions == 0 {
+		t.Errorf("RunResult: %+v, %v", res.Job, err)
+	}
+	jobs, err := c.Jobs(ctx)
+	if err != nil || len(jobs) != 2 {
+		t.Errorf("Jobs: %d jobs, %v", len(jobs), err)
+	}
+	if h, err := c.Health(ctx); err != nil || h != "ok" {
+		t.Errorf("Health: %q, %v", h, err)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil || metrics == "" {
+		t.Errorf("Metrics: %d bytes, %v", len(metrics), err)
+	}
+}
+
+// TestClientSurfacesBackpressure: a 429 rejection (the wire shape the
+// serve package's queue-full tests pin) decodes into a typed APIError
+// carrying the Retry-After hint. A stub server makes the rejection
+// deterministic; the real server's side of the contract is
+// TestServerQueueFullRejectsWith429.
+func TestClientSurfacesBackpressure(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(serve.ErrorResponse{Error: "job queue full (1 queued); retry later", RetryAfterS: 3})
+	}))
+	defer stub.Close()
+
+	_, err := client.New(stub.URL, nil).SubmitRun(t.Context(), restartReq(8))
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("submit error not an APIError: %v", err)
+	}
+	if !apiErr.IsBusy() || apiErr.RetryAfter != 3*time.Second {
+		t.Errorf("backpressure error = %+v, want busy with 3s retry", apiErr)
+	}
+	if !strings.Contains(apiErr.Message, "queue full") {
+		t.Errorf("error body not decoded: %q", apiErr.Message)
+	}
+}

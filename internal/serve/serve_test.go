@@ -1,0 +1,406 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flashsim/internal/runner"
+)
+
+// newTestServer builds a gated server over a fresh pool and an
+// httptest front end. The returned gate holds every worker at the top
+// of execute; tests close it to release execution. Callers must close
+// the gate before the test ends (cleanup drains the server).
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server, chan struct{}) {
+	t.Helper()
+	if opts.Pool == nil {
+		opts.Pool = runner.New(2, nil)
+	}
+	s := New(opts)
+	gate := make(chan struct{})
+	s.execGate = gate
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts, gate
+}
+
+// runBody renders a snbench.restart run submission; lines
+// differentiates fingerprints between jobs.
+func runBody(lines int) []byte {
+	return []byte(fmt.Sprintf(
+		`{"base":"simos-mipsy","procs":1,"workload":{"name":"snbench.restart","lines":%d}}`, lines))
+}
+
+func postJSON(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// waitFor polls cond until true or the deadline fails the test.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestServerRunRoundTrip: a synchronous run submission returns the
+// simulation result, and resubmitting the identical request after
+// completion is served from the memo store (cached=true) without a
+// second execution.
+func TestServerRunRoundTrip(t *testing.T) {
+	store, err := runner.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(2, store)
+	_, ts, gate := newTestServer(t, Options{Pool: pool})
+	close(gate)
+
+	resp, data := postJSON(t, ts.URL+"/v1/runs?wait=true", runBody(32))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var cold RunResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatalf("decode cold response: %v", err)
+	}
+	if cold.Job.State != StateDone {
+		t.Fatalf("cold job state = %s, want done", cold.Job.State)
+	}
+	if cold.Job.Cached {
+		t.Error("cold run reported cached")
+	}
+	if cold.Result.Instructions == 0 || cold.Result.Total == 0 {
+		t.Errorf("empty result: %+v", cold.Result)
+	}
+
+	resp, data = postJSON(t, ts.URL+"/v1/runs?wait=true", runBody(32))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var warm RunResponse
+	if err := json.Unmarshal(data, &warm); err != nil {
+		t.Fatalf("decode warm response: %v", err)
+	}
+	if !warm.Job.Cached {
+		t.Error("warm run not served from cache")
+	}
+	if warm.Result.Total != cold.Result.Total || warm.Result.Instructions != cold.Result.Instructions {
+		t.Errorf("cached result differs: cold %v/%d warm %v/%d",
+			cold.Result.Total, cold.Result.Instructions, warm.Result.Total, warm.Result.Instructions)
+	}
+	if got := pool.Stats().Ran; got != 1 {
+		t.Errorf("pool executed %d runs, want 1", got)
+	}
+}
+
+// TestServerCoalescesConcurrentIdenticalRuns pins the dedup guarantee:
+// N identical concurrent submissions produce exactly one pool
+// execution, every caller gets the result, and all but one response is
+// marked coalesced.
+func TestServerCoalescesConcurrentIdenticalRuns(t *testing.T) {
+	const callers = 6
+	s, ts, gate := newTestServer(t, Options{})
+
+	var wg sync.WaitGroup
+	responses := make([]RunResponse, callers)
+	codes := make([]int, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, data := postJSON(t, ts.URL+"/v1/runs?wait=true", runBody(64))
+			codes[i] = resp.StatusCode
+			_ = json.Unmarshal(data, &responses[i])
+		}(i)
+	}
+	// Release the workers only after every submission has been
+	// admitted (one real record + callers-1 coalesced joins), so the
+	// test exercises the concurrent window deterministically.
+	waitFor(t, "all submissions admitted", func() bool {
+		return s.coalesced.Load() == callers-1
+	})
+	close(gate)
+	wg.Wait()
+
+	joined := 0
+	for i := 0; i < callers; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("caller %d: status %d", i, codes[i])
+		}
+		if responses[i].Job.State != StateDone {
+			t.Errorf("caller %d: state %s", i, responses[i].Job.State)
+		}
+		if responses[i].Result.Total == 0 {
+			t.Errorf("caller %d: empty result", i)
+		}
+		if responses[i].Job.Coalesced {
+			joined++
+		}
+	}
+	if joined != callers-1 {
+		t.Errorf("%d responses marked coalesced, want %d", joined, callers-1)
+	}
+	if got := s.Pool().Stats().Ran; got != 1 {
+		t.Errorf("pool executed %d runs for %d identical submissions, want exactly 1", got, callers)
+	}
+}
+
+// TestServerQueueFullRejectsWith429 pins admission control: once the
+// single worker is busy and the depth-1 queue holds a job, the next
+// distinct submission is rejected with 429 and a Retry-After hint —
+// and the already-accepted jobs still complete.
+func TestServerQueueFullRejectsWith429(t *testing.T) {
+	s, ts, gate := newTestServer(t, Options{
+		Pool:       runner.Serial(),
+		Workers:    1,
+		QueueDepth: 1,
+		RetryAfter: 2 * time.Second,
+	})
+
+	respA, dataA := postJSON(t, ts.URL+"/v1/runs", runBody(8))
+	if respA.StatusCode != http.StatusAccepted {
+		t.Fatalf("job A: status %d, body %s", respA.StatusCode, dataA)
+	}
+	// The worker holds A at the gate; wait for it to leave the queue so
+	// B lands in the only slot.
+	waitFor(t, "worker to take job A", func() bool { return len(s.queue) == 0 })
+
+	respB, dataB := postJSON(t, ts.URL+"/v1/runs", runBody(16))
+	if respB.StatusCode != http.StatusAccepted {
+		t.Fatalf("job B: status %d, body %s", respB.StatusCode, dataB)
+	}
+
+	respC, dataC := postJSON(t, ts.URL+"/v1/runs", runBody(24))
+	if respC.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("job C: status %d, want 429; body %s", respC.StatusCode, dataC)
+	}
+	if got := respC.Header.Get("Retry-After"); got != "2" {
+		t.Errorf("Retry-After = %q, want \"2\"", got)
+	}
+	var e ErrorResponse
+	if err := json.Unmarshal(dataC, &e); err != nil || e.RetryAfterS != 2 {
+		t.Errorf("429 body = %s (err %v), want retry_after_s 2", dataC, err)
+	}
+	if got := s.rejected.Load(); got != 1 {
+		t.Errorf("rejected counter = %d, want 1", got)
+	}
+
+	// The rejection must not have cost A or B anything.
+	close(gate)
+	var stA, stB JobStatus
+	_ = json.Unmarshal(dataA, &stA)
+	_ = json.Unmarshal(dataB, &stB)
+	for _, id := range []string{stA.ID, stB.ID} {
+		id := id
+		waitFor(t, "job "+id+" done", func() bool {
+			var st JobStatus
+			getJSON(t, ts.URL+"/v1/jobs/"+id, &st)
+			return st.State == StateDone
+		})
+	}
+}
+
+// TestServerDrainRefusesNewAndCompletesAccepted pins graceful
+// shutdown: during a drain, new submissions get 503 while every job
+// accepted before the drain still runs to done and stays fetchable.
+func TestServerDrainRefusesNewAndCompletesAccepted(t *testing.T) {
+	s, ts, gate := newTestServer(t, Options{Workers: 1, QueueDepth: 8})
+
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, data := postJSON(t, ts.URL+"/v1/runs", runBody(8*(i+1)))
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d, body %s", i, resp.StatusCode, data)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- s.Drain(t.Context()) }()
+	waitFor(t, "server draining", s.Draining)
+
+	resp, data := postJSON(t, ts.URL+"/v1/runs", runBody(999))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission during drain: status %d, want 503; body %s", resp.StatusCode, data)
+	}
+	var health map[string]string
+	getJSON(t, ts.URL+"/healthz", &health)
+	if health["status"] != "draining" {
+		t.Errorf("healthz status = %q, want draining", health["status"])
+	}
+
+	close(gate)
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		var got RunResponse
+		resp := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", &got)
+		if resp.StatusCode != http.StatusOK || got.Job.State != StateDone {
+			t.Errorf("job %s after drain: status %d state %s, want 200 done", id, resp.StatusCode, got.Job.State)
+		}
+	}
+}
+
+// TestServerCancelAndTimeout: DELETE cancels a queued job, and a
+// submission deadline expires a job that never left the queue; both
+// surface as state=canceled with a 504 result.
+func TestServerCancelAndTimeout(t *testing.T) {
+	s, ts, gate := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+
+	// A occupies the worker at the gate.
+	postJSON(t, ts.URL+"/v1/runs", runBody(8))
+	waitFor(t, "worker busy", func() bool { return len(s.queue) == 0 })
+
+	_, dataB := postJSON(t, ts.URL+"/v1/runs", runBody(16))
+	var stB JobStatus
+	if err := json.Unmarshal(dataB, &stB); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+stB.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %v / %v", err, resp)
+	}
+
+	_, dataC := postJSON(t, ts.URL+"/v1/runs",
+		[]byte(`{"base":"simos-mipsy","workload":{"name":"snbench.restart","lines":24},"timeout_ms":5}`))
+	var stC JobStatus
+	if err := json.Unmarshal(dataC, &stC); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let C's deadline lapse while queued
+	close(gate)
+
+	for _, id := range []string{stB.ID, stC.ID} {
+		id := id
+		waitFor(t, "job "+id+" canceled", func() bool {
+			var st JobStatus
+			getJSON(t, ts.URL+"/v1/jobs/"+id, &st)
+			return st.State == StateCanceled
+		})
+		if resp := getJSON(t, ts.URL+"/v1/jobs/"+id+"/result", nil); resp.StatusCode != http.StatusGatewayTimeout {
+			t.Errorf("result of canceled %s: status %d, want 504", id, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerRejectsBadSubmissions: malformed specs fail with 400 before
+// touching the queue, and unknown jobs 404.
+func TestServerRejectsBadSubmissions(t *testing.T) {
+	s, ts, gate := newTestServer(t, Options{})
+	close(gate)
+
+	for name, body := range map[string]string{
+		"unknown workload": `{"base":"simos-mipsy","workload":{"name":"nope"}}`,
+		"unknown base":     `{"base":"vax","workload":{"name":"snbench.restart","lines":8}}`,
+		"unknown field":    `{"base":"simos-mipsy","typo":1,"workload":{"name":"snbench.restart","lines":8}}`,
+		"unknown setting":  `{"base":"simos-mipsy","set":[{"path":"no.such.knob","value":"1"}],"workload":{"name":"snbench.restart","lines":8}}`,
+		"bad case":         `{"base":"simos-mipsy","workload":{"name":"snbench.dependent-loads","case":"nope","lines":8}}`,
+	} {
+		resp, data := postJSON(t, ts.URL+"/v1/runs", []byte(body))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400; body %s", name, resp.StatusCode, data)
+		}
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/figures", []byte(`{"figure":12}`)); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("figure 12: status %d, want 400; body %s", resp.StatusCode, data)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/jobs/j999999", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+	if got := s.accepted.Load(); got != 0 {
+		t.Errorf("bad submissions consumed %d queue slots", got)
+	}
+}
+
+// TestServerEventsStreamsToTerminal: the SSE endpoint emits status
+// events and closes with a done event carrying the terminal state.
+func TestServerEventsStreamsToTerminal(t *testing.T) {
+	_, ts, gate := newTestServer(t, Options{})
+
+	_, data := postJSON(t, ts.URL+"/v1/runs", runBody(32))
+	var st JobStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	close(gate)
+
+	var events []string
+	var last JobStatus
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			events = append(events, strings.TrimPrefix(line, "event: "))
+		}
+		if strings.HasPrefix(line, "data: ") {
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &last); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+		}
+		if len(events) > 0 && events[len(events)-1] == "done" {
+			break
+		}
+	}
+	if len(events) < 2 || events[len(events)-1] != "done" {
+		t.Fatalf("event sequence %v, want ...done", events)
+	}
+	if last.State != StateDone {
+		t.Errorf("terminal SSE state = %s, want done", last.State)
+	}
+}

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the serving loop: boot flashd, submit one snbench
+# run over HTTP, resubmit it to hit the warm cache, then SIGTERM the
+# daemon and require a clean drain. CI runs this after the unit tests;
+# it needs only curl and a Go toolchain.
+set -euo pipefail
+
+workdir=$(mktemp -d)
+addr="127.0.0.1:8023"
+base="http://$addr"
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/flashd" ./cmd/flashd
+"$workdir/flashd" -addr "$addr" -cache-dir "$workdir/cache" -cache-max-bytes 64MiB \
+  -metrics-out "$workdir/metrics.json" >"$workdir/flashd.log" 2>&1 &
+pid=$!
+
+for i in $(seq 1 50); do
+  if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "flashd died during startup:" >&2; cat "$workdir/flashd.log" >&2; exit 1
+  fi
+  sleep 0.2
+done
+curl -fsS "$base/healthz" | grep -q '"ok"' || { echo "healthz not ok" >&2; exit 1; }
+
+req='{"base":"simos-mipsy","workload":{"name":"snbench.restart","lines":256}}'
+submit() {
+  curl -sS -o "$1" -w '%{http_code}' -X POST "$base/v1/runs?wait=true" \
+    -H 'Content-Type: application/json' -d "$req"
+}
+
+code=$(submit "$workdir/cold.json")
+[ "$code" = 200 ] || { echo "cold submit: HTTP $code" >&2; cat "$workdir/cold.json" >&2; exit 1; }
+grep -q '"state": "done"' "$workdir/cold.json" || { echo "cold job not done" >&2; exit 1; }
+grep -q '"cached": true' "$workdir/cold.json" && { echo "cold run claims cached" >&2; exit 1; }
+
+code=$(submit "$workdir/warm.json")
+[ "$code" = 200 ] || { echo "warm submit: HTTP $code" >&2; cat "$workdir/warm.json" >&2; exit 1; }
+grep -q '"cached": true' "$workdir/warm.json" || { echo "warm run missed the cache" >&2; exit 1; }
+
+curl -fsS -o "$workdir/metrics.prom" "$base/metrics"
+grep -q '^flashsim_runner_runs_total 1$' "$workdir/metrics.prom" \
+  || { echo "/metrics does not show exactly one execution" >&2; exit 1; }
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+  echo "flashd exited nonzero on SIGTERM:" >&2; cat "$workdir/flashd.log" >&2; exit 1
+fi
+grep -q '"Ran": 1' "$workdir/metrics.json" || { echo "-metrics-out not flushed on drain" >&2; exit 1; }
+
+echo "serve smoke OK: cold run simulated, warm run cached, drained cleanly"
