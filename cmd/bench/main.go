@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,8 +30,10 @@ import (
 	"flashsim/internal/emitter"
 	"flashsim/internal/harness"
 	"flashsim/internal/hw"
+	"flashsim/internal/isa"
 	"flashsim/internal/machine"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 )
 
 // trajectorySchema versions the BENCH_*.json layout.
@@ -119,6 +122,81 @@ var benchmarks = []struct {
 		}
 		b.ReportMetric(float64(int(1)<<16), "instrs/op")
 	}},
+	{"isa-encode", func(b *testing.B) {
+		ins := benchInstrs(1 << 15)
+		buf := isa.EncodeStream(ins)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			for _, in := range ins {
+				buf = isa.AppendInstr(buf, in)
+			}
+		}
+		b.ReportMetric(float64(len(ins)), "instrs/op")
+		b.ReportMetric(float64(len(buf))/float64(len(ins)), "bytes/instr")
+	}},
+	{"isa-decode", func(b *testing.B) {
+		ins := benchInstrs(1 << 15)
+		enc := isa.EncodeStream(ins)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rest := enc
+			for len(rest) > 0 {
+				_, n, err := isa.DecodeInstr(rest)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rest = rest[n:]
+			}
+		}
+		b.ReportMetric(float64(len(ins)), "instrs/op")
+	}},
+	{"trace-roundtrip", func(b *testing.B) {
+		ins := benchInstrs(1 << 15)
+		var compressed int
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			tw, err := trace.NewWriter(&buf, trace.Meta{Workload: "bench", Threads: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for off := 0; off < len(ins); off += 256 {
+				end := off + 256
+				if end > len(ins) {
+					end = len(ins)
+				}
+				tw.Tap(0, ins[off:end])
+			}
+			if err := tw.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			tr, err := trace.Decode(buf.Bytes())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cur := tr.Thread(0)
+			var got uint64
+			for {
+				batch, err := cur.NextBatch()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if batch == nil {
+					break
+				}
+				got += uint64(len(batch))
+			}
+			if got != uint64(len(ins)) {
+				b.Fatalf("round-trip lost instructions: %d != %d", got, len(ins))
+			}
+			compressed = int(tr.CompressedBytes())
+		}
+		b.ReportMetric(float64(len(ins)), "instrs/op")
+		b.ReportMetric(float64(compressed)/float64(len(ins)), "comp-bytes/instr")
+	}},
 	{"sim-speed-mipsy", func(b *testing.B) {
 		benchRun(b, core.SimOSMipsy(1, 150, true))
 	}},
@@ -138,6 +216,33 @@ var benchmarks = []struct {
 			}
 		}
 	}},
+}
+
+// benchInstrs builds a deterministic instruction mix shaped like a
+// captured per-thread stream: strided loads and stores with short
+// dependence distances, ALU/FP work between them, periodic branches,
+// and an occasional lock round-trip. The codec benchmarks use it so
+// their ns/op reflect the field-presence distribution of real traces,
+// not all-zero or all-full instructions.
+func benchInstrs(n int) []isa.Instr {
+	ins := make([]isa.Instr, 0, n+8)
+	for i := 0; len(ins) < n; i++ {
+		base := uint64(0x10_0000 + (i%4096)*64)
+		ins = append(ins,
+			isa.Instr{Op: isa.Load, Addr: base, Size: 8, Dep1: 2},
+			isa.Instr{Op: isa.IntALU, Dep1: 1, Dep2: 3},
+			isa.Instr{Op: isa.FPMul, Dep1: 1},
+			isa.Instr{Op: isa.Store, Addr: base + 8, Size: 8, Dep1: 2},
+			isa.Instr{Op: isa.IntALU},
+			isa.Instr{Op: isa.Branch, Dep1: 1},
+		)
+		if i%64 == 63 {
+			ins = append(ins,
+				isa.Instr{Op: isa.Lock, Aux: uint32(i%8) + 1},
+				isa.Instr{Op: isa.Unlock, Aux: uint32(i%8) + 1})
+		}
+	}
+	return ins[:n]
 }
 
 // benchRun measures one quick FFT machine run and reports simulated

@@ -9,6 +9,8 @@
 //	POST   /v1/runs              submit a run ({base, set, workload}); ?wait=true blocks for the result
 //	POST   /v1/calibrations      submit a closing-the-loop calibration
 //	POST   /v1/figures           submit a paper figure (1-7)
+//	POST   /v1/captures          run execution-driven, recording the streams (-trace-dir)
+//	POST   /v1/replays           replay a stored capture trace-driven by fingerprint
 //	GET    /v1/jobs              list jobs; /v1/jobs/{id} one status
 //	GET    /v1/jobs/{id}/result  fetch a finished job's payload
 //	GET    /v1/jobs/{id}/events  stream status transitions (SSE)
@@ -32,6 +34,7 @@ import (
 	"time"
 
 	"flashsim/internal/cliutil"
+	"flashsim/internal/runner"
 	"flashsim/internal/serve"
 )
 
@@ -47,8 +50,13 @@ func run() int {
 	queueDepth := flag.Int("queue-depth", 64, "accepted-but-unstarted jobs to hold before rejecting with 429")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint attached to 429 responses")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a shutdown waits for accepted jobs before cancelling them")
+	traceDir := flag.String("trace-dir", "", "content-addressed trace store enabling /v1/captures and /v1/replays")
 	flag.Parse()
 	if err := cf.Finish(); err != nil {
+		log.Print(err)
+		return 1
+	}
+	if err := cf.ForbidTrace("flashd"); err != nil {
 		log.Print(err)
 		return 1
 	}
@@ -63,10 +71,20 @@ func run() int {
 		log.Print(err)
 		return 1
 	}
+	var traces *runner.TraceStore
+	if *traceDir != "" {
+		traces, err = runner.NewTraceStore(*traceDir)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		log.Printf("trace store at %s", traces.Dir())
+	}
 	s := serve.New(serve.Options{
 		Pool:       pool,
 		QueueDepth: *queueDepth,
 		RetryAfter: *retryAfter,
+		Traces:     traces,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 

@@ -11,6 +11,8 @@
 //	flashsim -sim simos-mipsy -set os.tlb.handler_cycles=65
 //	flashsim -app fft -metrics-out m.json     # per-run counter report
 //	flashsim -app radix -check-coherence      # directory invariant checks
+//	flashsim -app fft -trace-out fft.fltr     # capture the instruction streams
+//	flashsim -app fft -trace-in fft.fltr      # trace-driven replay of a capture
 package main
 
 import (
@@ -113,17 +115,44 @@ func main() {
 		log.Fatalf("unknown workload %q", *app)
 	}
 
+	if cf.TraceOut != "" && cf.TraceIn != "" {
+		log.Fatal("-trace-out and -trace-in are mutually exclusive (capture or replay, not both)")
+	}
+
 	pool, store, err := cf.Pool()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	t0 := time.Now()
-	results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Prog: prog}})
-	if err != nil {
-		log.Fatal(err)
+	var res machine.Result
+	switch {
+	case cf.TraceOut != "":
+		// Capture runs execution-driven outside the pool: a memoized
+		// result replays no instructions and can never fill a trace.
+		res, err = cliutil.CaptureRun(cf.TraceOut, cfg, prog, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[captured trace: %s]\n", cf.TraceOut)
+	case cf.TraceIn != "":
+		img, err := cliutil.LoadReplay(cf.TraceIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Replay: img}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = results[0]
+		fmt.Printf("[trace-driven: replayed %s (%d instructions)]\n", img.Workload(), img.Instructions())
+	default:
+		results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Prog: prog}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res = results[0]
 	}
-	res := results[0]
 	wall := time.Since(t0)
 	if st := pool.Stats(); st.CacheHits > 0 {
 		fmt.Printf("[memoized: result served from %s]\n", store.Dir())

@@ -36,6 +36,9 @@ func main() {
 	if err := cf.Finish(); err != nil {
 		log.Fatal(err)
 	}
+	if err := cf.ForbidTrace("snbench"); err != nil {
+		log.Fatal(err)
+	}
 	defer func() {
 		if err := cf.Close(); err != nil {
 			log.Print(err)

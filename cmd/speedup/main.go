@@ -34,6 +34,9 @@ func main() {
 	if err := cf.Finish(); err != nil {
 		log.Fatal(err)
 	}
+	if err := cf.ForbidTrace("speedup"); err != nil {
+		log.Fatal(err)
+	}
 	defer func() {
 		if err := cf.Close(); err != nil {
 			log.Print(err)

@@ -32,6 +32,9 @@ func main() {
 	if err := cf.Finish(); err != nil {
 		log.Fatal(err)
 	}
+	if err := cf.ForbidTrace("tune"); err != nil {
+		log.Fatal(err)
+	}
 	defer func() {
 		if err := cf.Close(); err != nil {
 			log.Print(err)

@@ -108,9 +108,13 @@ type Stats struct {
 }
 
 // Cache is a set-associative tag array with true-LRU replacement.
+// The tag store is one flat ways-strided array — set lookup is a mask
+// and a multiply, with no per-set slice header to chase on the probe
+// path every simulated access takes.
 type Cache struct {
 	cfg   Config
-	sets  [][]line
+	lines []line
+	ways  int
 	clock uint64
 	stats Stats
 
@@ -125,12 +129,9 @@ func New(cfg Config) *Cache {
 		panic(err)
 	}
 	nsets := cfg.Sets()
-	c := &Cache{cfg: cfg, sets: make([][]line, nsets), setMask: nsets - 1}
+	c := &Cache{cfg: cfg, lines: make([]line, nsets*uint64(cfg.Ways)), ways: cfg.Ways, setMask: nsets - 1}
 	for ls := cfg.LineSize; ls > 1; ls >>= 1 {
 		c.lineShift++
-	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
 	}
 	return c
 }
@@ -141,7 +142,10 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns accumulated event counts.
 func (c *Cache) Stats() Stats { return c.stats }
 
-func (c *Cache) set(pa uint64) []line { return c.sets[(pa>>c.lineShift)&c.setMask] }
+func (c *Cache) set(pa uint64) []line {
+	i := ((pa >> c.lineShift) & c.setMask) * uint64(c.ways)
+	return c.lines[i : i+uint64(c.ways)]
+}
 
 // Lookup returns the state of the line containing pa (Invalid if not
 // present) without updating recency.
@@ -281,21 +285,17 @@ func (c *Cache) Downgrade(pa uint64) State {
 
 // Flush empties the cache, leaving statistics intact.
 func (c *Cache) Flush() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 }
 
 // Resident returns the number of valid lines (for tests).
 func (c *Cache) Resident() int {
 	n := 0
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			if c.sets[i][j].state != Invalid {
-				n++
-			}
+	for i := range c.lines {
+		if c.lines[i].state != Invalid {
+			n++
 		}
 	}
 	return n

@@ -36,6 +36,8 @@ const (
 	memProfileUsage = "write an allocation profile to this file on exit (go tool pprof)"
 	traceUsage      = "write a runtime execution trace to this file (go tool trace)"
 	metricsOutUsage = "write the aggregated per-run metrics report (obs.Report JSON) to this file on exit"
+	traceOutUsage   = "capture the run's instruction streams into this trace container (execution-driven run, bypasses the memo store)"
+	traceInUsage    = "replay a previously captured trace container instead of executing the workload (trace-driven run)"
 )
 
 // Flags carries the shared flag values after flag.Parse.
@@ -49,6 +51,8 @@ type Flags struct {
 	MemProfile string
 	TraceFile  string
 	MetricsOut string
+	TraceOut   string
+	TraceIn    string
 
 	sets     stringList
 	settings []param.Setting
@@ -88,6 +92,8 @@ func RegisterOn(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MemProfile, "memprofile", "", memProfileUsage)
 	fs.StringVar(&f.TraceFile, "trace", "", traceUsage)
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", metricsOutUsage)
+	fs.StringVar(&f.TraceOut, "trace-out", "", traceOutUsage)
+	fs.StringVar(&f.TraceIn, "trace-in", "", traceInUsage)
 	return f
 }
 

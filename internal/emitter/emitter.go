@@ -49,6 +49,15 @@ const poolSize = chanDepth + 1
 // back than this is out of every model's window and irrelevant.
 const maxDepDistance = 1 << 20
 
+// Tap observes each flushed batch of one thread's instruction stream.
+// It is invoked on the emitting goroutine, immediately before the batch
+// is handed to the consumer, so the batch slice is still owned by the
+// producer: the tap must finish with it before returning and must not
+// retain it (the slab goes back into the recycling pool). Taps for
+// different threads run concurrently; a tap implementation that shares
+// state across threads must synchronize it itself.
+type Tap func(thread int, batch []isa.Instr)
+
 // Val is a handle to the value produced by a previously emitted
 // instruction, used to express data dependences.
 type Val struct {
@@ -73,6 +82,7 @@ type Thread struct {
 	count uint64 // instructions emitted so far
 	rng   uint64 // per-thread deterministic PRNG state
 	held  map[uint32]*sync.Mutex
+	tap   Tap
 }
 
 // releaseHeld unlocks any real mutexes held when the goroutine unwinds
@@ -107,6 +117,12 @@ func (t *Thread) emit(in isa.Instr) Val {
 func (t *Thread) flush() {
 	if len(t.buf) == 0 {
 		return
+	}
+	if t.tap != nil {
+		// Mirror the batch before it leaves the producer: the tap reads
+		// from the slab we still own, so the pool discipline below is
+		// untouched and the consumer never sees the copy cost.
+		t.tap(t.ID, t.buf)
 	}
 	select {
 	case t.ch <- t.buf:
@@ -440,6 +456,12 @@ func (s *Streams) Counters() obs.EmitterCounters {
 // Start launches nthreads goroutines running body and returns their
 // streams. body receives the per-thread emission context.
 func Start(nthreads int, body func(t *Thread)) *Streams {
+	return StartTapped(nthreads, body, nil)
+}
+
+// StartTapped is Start with a Tap mirroring every flushed batch (nil
+// behaves exactly like Start).
+func StartTapped(nthreads int, body func(t *Thread), tap Tap) *Streams {
 	if nthreads <= 0 {
 		panic("emitter: nthreads must be positive")
 	}
@@ -467,6 +489,7 @@ func Start(nthreads int, body func(t *Thread)) *Streams {
 			abort: s.abortCh,
 			buf:   make([]isa.Instr, 0, BatchSize),
 			rng:   0x9E3779B97F4A7C15 ^ (uint64(i+1) * 0xBF58476D1CE4E5B9),
+			tap:   tap,
 		}
 		s.wg.Add(1)
 		go func() {

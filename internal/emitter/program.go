@@ -123,6 +123,16 @@ func (as *AddressSpace) Regions() []Region {
 // Span returns the highest allocated address (exclusive).
 func (as *AddressSpace) Span() uint64 { return as.next }
 
+// RestoreAddressSpace reconstructs an address space from a recorded
+// layout (regions plus span), for replaying a captured trace: the OS
+// model's page table needs FindRegion over the same regions the
+// capture run allocated, without re-running the program's Setup.
+func RestoreAddressSpace(regions []Region, span uint64) *AddressSpace {
+	rs := make([]Region, len(regions))
+	copy(rs, regions)
+	return &AddressSpace{next: span, regions: rs}
+}
+
 // FindRegion returns the region containing addr, if any.
 func (as *AddressSpace) FindRegion(addr uint64) (Region, bool) {
 	for _, r := range as.regions {
@@ -149,6 +159,11 @@ type Program struct {
 	Setup func(as *AddressSpace) any
 	// Body is the per-thread kernel; shared is Setup's return value.
 	Body func(t *Thread, shared any)
+	// Tap, when non-nil, mirrors every flushed instruction batch (trace
+	// capture). It does not contribute to the program's identity:
+	// FullName and the runner fingerprints ignore it, because the
+	// emitted streams are byte-identical with or without a tap.
+	Tap Tap
 }
 
 // Launch runs Setup and starts the emitter goroutines. It returns the
@@ -162,7 +177,7 @@ func (p Program) Launch() (*AddressSpace, *Streams) {
 	if p.Setup != nil {
 		shared = p.Setup(as)
 	}
-	s := Start(p.Threads, func(t *Thread) { p.Body(t, shared) })
+	s := StartTapped(p.Threads, func(t *Thread) { p.Body(t, shared) }, p.Tap)
 	return as, s
 }
 

@@ -231,3 +231,41 @@ func TestOverrideNeverTouchesHardwareReference(t *testing.T) {
 		}
 	}
 }
+
+func TestExperimentTraceReplayQuick(t *testing.T) {
+	s := harness.NewSession(harness.ScaleQuick)
+	d, text, err := s.ExperimentTraceReplay(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Procs != 2 {
+		t.Errorf("procs %d", d.Procs)
+	}
+	// Three ladder rungs per fixed workload, in capture-first order.
+	apps := s.Scale.FixedApps()
+	if len(d.Rows) != 3*len(apps) {
+		t.Fatalf("%d rows for %d workloads", len(d.Rows), len(apps))
+	}
+	for i, r := range d.Rows {
+		switch i % 3 {
+		case 0:
+			// The capture rung is exact by construction: bit-identical
+			// results, relative error exactly 1.
+			if r.Rung != "mipsy" || r.Class != "exact" || !r.Identical || r.Relative != 1 {
+				t.Errorf("capture rung row %+v", r)
+			}
+		default:
+			// Detailed rungs diverge; that divergence is the omission-class
+			// trace-driven error, and it stays within sanity bounds.
+			if r.Class != "omission" || r.Identical {
+				t.Errorf("detail rung row %+v", r)
+			}
+			if r.Relative <= 0.2 || r.Relative >= 5 {
+				t.Errorf("%s/%s trace-driven error %.3f out of sanity range", r.Workload, r.Rung, r.Relative)
+			}
+		}
+	}
+	if !strings.Contains(text, "omission") || !strings.Contains(text, "exact") {
+		t.Error("render missing taxonomy classes")
+	}
+}

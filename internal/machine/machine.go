@@ -12,6 +12,7 @@ import (
 	"flashsim/internal/memsys"
 	"flashsim/internal/osmodel"
 	"flashsim/internal/sim"
+	"flashsim/internal/trace"
 	"flashsim/internal/vm"
 )
 
@@ -64,6 +65,13 @@ type lockWaiter struct {
 // result. Each call builds a fresh machine; state never leaks between
 // runs.
 func Run(cfg Config, prog emitter.Program) (Result, error) {
+	return runProgram(cfg, prog, nil)
+}
+
+// runProgram is the shared execution-driven path behind Run and
+// RunCapture; tw, when non-nil, receives every flushed batch and is
+// sealed once the run drains.
+func runProgram(cfg Config, prog emitter.Program, tw *trace.Writer) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -71,6 +79,63 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 		return Result{}, fmt.Errorf("machine %q: program %s has %d threads but machine has %d processors",
 			cfg.Name, prog.FullName(), prog.Threads, cfg.Procs)
 	}
+	if tw != nil {
+		if tw.Threads() != prog.Threads {
+			return Result{}, fmt.Errorf("machine %q: trace writer expects %d threads, program %s has %d",
+				cfg.Name, tw.Threads(), prog.FullName(), prog.Threads)
+		}
+		prog.Tap = tw.Tap
+	}
+
+	space, streams := prog.Launch()
+	defer streams.Abort()
+
+	m := build(cfg, space, func(i int, clock sim.Clock, p *memPort) cpu.CPU {
+		switch cfg.CPU {
+		case CPUMXS:
+			mc := mxs.DefaultConfig(clock)
+			mc.Fidelity = cfg.MXS
+			mc.Quantum = cfg.Quantum
+			mc.Seed = cfg.Seed + uint64(i)*0x9E37
+			return mxs.New(mc, streams.Readers[i], p)
+		default:
+			return mipsy.New(mipsy.Config{
+				Clock:             clock,
+				ModelInstrLatency: cfg.ModelInstrLatency,
+				Quantum:           cfg.Quantum,
+			}, streams.Readers[i], p)
+		}
+	})
+	m.drive()
+
+	if err := streams.Err(); err != nil {
+		return Result{}, fmt.Errorf("machine %q: %w", cfg.Name, err)
+	}
+	if m.runErr != nil {
+		return Result{}, m.runErr
+	}
+	if m.finished != cfg.Procs {
+		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
+			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
+	}
+	res := m.collect(streams.Counters())
+	res.Metrics.Workload = prog.FullName()
+	if tw != nil {
+		// Every reader drained (all cores finished), so every producer
+		// has flushed through the tap; Wait pins the goroutine exits.
+		streams.Wait()
+		tw.SetLayout(space)
+		if err := tw.Finish(); err != nil {
+			return Result{}, fmt.Errorf("machine %q: sealing trace: %w", cfg.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// build assembles a machine around an address space, deferring only
+// the core model to newCore — the seam between the execution-driven
+// mode (Mipsy/MXS fed by emitter readers) and trace-driven replay.
+func build(cfg Config, space *emitter.AddressSpace, newCore func(i int, clock sim.Clock, p *memPort) cpu.CPU) *Machine {
 	m := &Machine{
 		cfg:        cfg,
 		queue:      sim.NewQueue(),
@@ -78,9 +143,6 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 		locks:      make(map[uint32]*lockState),
 		barrierRel: make(map[uint32][]sim.Ticks),
 	}
-
-	space, streams := prog.Launch()
-	defer streams.Abort()
 
 	pt := osmodel.NewPageTable(cfg.OS.Kind, space, cfg.Procs, cfg.Colors())
 	m.os = osmodel.New(cfg.OS, pt, cfg.Procs)
@@ -122,24 +184,13 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 				TransferTicks: sim.NS(cfg.L2TransferNS),
 			},
 		}
-		var core cpu.CPU
-		switch cfg.CPU {
-		case CPUMXS:
-			mc := mxs.DefaultConfig(clock)
-			mc.Fidelity = cfg.MXS
-			mc.Quantum = cfg.Quantum
-			mc.Seed = cfg.Seed + uint64(i)*0x9E37
-			core = mxs.New(mc, streams.Readers[i], p)
-		default:
-			core = mipsy.New(mipsy.Config{
-				Clock:             clock,
-				ModelInstrLatency: cfg.ModelInstrLatency,
-				Quantum:           cfg.Quantum,
-			}, streams.Readers[i], p)
-		}
-		m.nodes[i] = &node{id: i, core: core, port: p}
+		m.nodes[i] = &node{id: i, core: newCore(i, clock, p), port: p}
 	}
+	return m
+}
 
+// drive runs the event loop to quiescence.
+func (m *Machine) drive() {
 	for _, n := range m.nodes {
 		m.queue.ScheduleFn(0, int32(n.id), m, uint64(n.id))
 	}
@@ -153,20 +204,6 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 		}
 		fired += n
 	}
-
-	if err := streams.Err(); err != nil {
-		return Result{}, fmt.Errorf("machine %q: %w", cfg.Name, err)
-	}
-	if m.runErr != nil {
-		return Result{}, m.runErr
-	}
-	if m.finished != cfg.Procs {
-		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
-			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
-	}
-	res := m.collect(streams)
-	res.Metrics.Workload = prog.FullName()
-	return res, nil
 }
 
 // HandleEvent implements sim.Handler: arg is a node id. All hot-path

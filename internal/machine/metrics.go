@@ -2,7 +2,6 @@ package machine
 
 import (
 	"flashsim/internal/cache"
-	"flashsim/internal/emitter"
 	"flashsim/internal/obs"
 	"flashsim/internal/proto"
 )
@@ -11,7 +10,7 @@ import (
 // record. It runs once, after the event loop drains, so it is free to
 // allocate — only the counters it reads sit on the hot path, and those
 // are plain field increments.
-func (m *Machine) buildMetrics(r *Result, streams *emitter.Streams) obs.RunMetrics {
+func (m *Machine) buildMetrics(r *Result, em obs.EmitterCounters) obs.RunMetrics {
 	rm := obs.RunMetrics{
 		Config:       m.cfg.Name,
 		Procs:        m.cfg.Procs,
@@ -20,7 +19,7 @@ func (m *Machine) buildMetrics(r *Result, streams *emitter.Streams) obs.RunMetri
 		ExecTicks:    uint64(r.Exec),
 		TotalTicks:   uint64(r.Total),
 		Queue:        m.queue.Stats(),
-		Emitter:      streams.Counters(),
+		Emitter:      em,
 		L1:           cacheCounters(r.L1),
 		L2:           cacheCounters(r.L2),
 		TLB:          m.os.TLBStats(),

@@ -1,0 +1,283 @@
+package machine
+
+import (
+	"fmt"
+
+	"flashsim/internal/cpu"
+	"flashsim/internal/emitter"
+	"flashsim/internal/isa"
+	"flashsim/internal/obs"
+	"flashsim/internal/sim"
+	"flashsim/internal/trace"
+)
+
+// RunCapture executes prog exactly like Run while mirroring every
+// emitted batch into tw, sealing the container when the run drains.
+// The capture adds no timing perturbation: the emitted streams and the
+// simulated result are byte-identical to an untapped Run.
+func RunCapture(cfg Config, prog emitter.Program, tw *trace.Writer) (Result, error) {
+	if tw == nil {
+		return Result{}, fmt.Errorf("machine %q: RunCapture needs a trace writer", cfg.Name)
+	}
+	return runProgram(cfg, prog, tw)
+}
+
+// replayAction is one memory, sync, or syscall instruction preceded by
+// a run of `skip` collapsed 1-cycle compute instructions. Collapsing is
+// exact under classic Mipsy timing: compute instructions make no
+// memory-system calls, so burning a run in one step reaches the same
+// time, the same stats, and the same next reservation as stepping them
+// one by one — and the quantum bound still yields at the same
+// instruction boundaries.
+type replayAction struct {
+	skip uint64
+	in   isa.Instr
+}
+
+// ReplayImage is a trace decoded and collapsed into directly
+// executable per-thread action lists: the prepare-once/replay-many
+// form. It is immutable after PrepareReplay and safe to share across
+// concurrent RunReplay calls (each builds fresh cursors and cores).
+type ReplayImage struct {
+	workload string
+	artifact string
+	threads  int
+	space    *emitter.AddressSpace
+	actions  [][]replayAction
+	tails    []uint64
+	instrs   uint64
+	batches  uint64
+}
+
+// PrepareReplay decodes tr completely (paying CRC, decompression, and
+// codec validation once) and returns the replayable image.
+func PrepareReplay(tr *trace.Trace) (*ReplayImage, error) {
+	img := &ReplayImage{
+		workload: tr.Workload(),
+		artifact: tr.Meta().Artifact,
+		threads:  tr.Threads(),
+		space:    tr.Space(),
+		actions:  make([][]replayAction, tr.Threads()),
+		tails:    make([]uint64, tr.Threads()),
+		instrs:   tr.Instructions(),
+		batches:  tr.Batches(),
+	}
+	for i := 0; i < tr.Threads(); i++ {
+		cur := tr.Thread(i)
+		var acts []replayAction
+		var skip uint64
+		for {
+			batch, err := cur.NextBatch()
+			if err != nil {
+				return nil, fmt.Errorf("machine: preparing replay of thread %d: %w", i, err)
+			}
+			if batch == nil {
+				break
+			}
+			for _, in := range batch {
+				if in.Op.IsMem() || in.Op.IsSync() || in.Op == isa.Syscall {
+					acts = append(acts, replayAction{skip: skip, in: in})
+					skip = 0
+				} else {
+					skip++
+				}
+			}
+		}
+		img.actions[i] = acts
+		img.tails[i] = skip
+	}
+	return img, nil
+}
+
+// Workload returns the captured program's FullName.
+func (img *ReplayImage) Workload() string { return img.workload }
+
+// Artifact returns the trace's content-address fingerprint ("" when
+// the capture did not record one; such images are not memoizable).
+func (img *ReplayImage) Artifact() string { return img.artifact }
+
+// Threads returns the image's thread count.
+func (img *ReplayImage) Threads() int { return img.threads }
+
+// Instructions returns the total recorded instruction count.
+func (img *ReplayImage) Instructions() uint64 { return img.instrs }
+
+// RunReplay executes a prepared trace image on a machine described by
+// cfg: the same memory system, OS model, and event scheduling as Run,
+// with the core model replaced by a trace-driven core that replays the
+// recorded streams at one cycle per compute instruction.
+//
+// Under the default configuration (classic Mipsy, no instruction
+// latencies) the replay core's timing rules coincide with Mipsy's, so
+// the Result — including the memory-system metrics — is bit-identical
+// to the execution-driven run that captured the trace. Under other
+// rungs of the detail ladder (instruction latencies, MXS) the replay
+// deliberately keeps its flat-CPI core: the difference IS the error
+// trace-driven simulation introduces, which the trace experiment
+// reports as taxonomy rows.
+func RunReplay(cfg Config, img *ReplayImage) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if img.threads != cfg.Procs {
+		return Result{}, fmt.Errorf("machine %q: trace of %s has %d threads but machine has %d processors",
+			cfg.Name, img.workload, img.threads, cfg.Procs)
+	}
+	m := build(cfg, img.space, func(i int, clock sim.Clock, p *memPort) cpu.CPU {
+		return newReplayCPU(clock, cfg.Quantum, img.actions[i], img.tails[i], p)
+	})
+	m.drive()
+	if m.runErr != nil {
+		return Result{}, m.runErr
+	}
+	if m.finished != cfg.Procs {
+		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
+			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
+	}
+	// The recorded stream accounting stands in for the live emitter
+	// counters. Slab reuses equal batches in a machine-fed run (every
+	// consumed buffer is recycled), so the metrics match bit for bit.
+	res := m.collect(obs.EmitterCounters{
+		Batches:      img.batches,
+		Instructions: img.instrs,
+		SlabReuses:   img.batches,
+	})
+	res.Metrics.Workload = img.workload
+	return res, nil
+}
+
+// replayCPU replays a collapsed instruction stream with Mipsy's exact
+// per-op timing rules (mipsy.CPU.Run is the reference; every branch
+// here clones one there, including which paths touch stats.Cycles).
+// Compute instructions always charge one cycle — the trace-driven
+// core abstraction.
+type replayCPU struct {
+	clock   sim.Clock
+	port    cpu.Port
+	quantum int
+	acts    []replayAction
+	tail    uint64
+
+	pos        int
+	pending    uint64
+	tailLoaded bool
+	stats      cpu.Stats
+
+	// Cycles is tracked symbolically to keep the per-action t/period
+	// division off the hot path: the counter's value is cycBase/period
+	// + cycAdd, materialized in Stats. A full write (Mipsy's bottom
+	// `stats.Cycles = t/period`) sets cycBase=t, cycAdd=0; the sync
+	// path's bare increment bumps cycAdd.
+	cycBase sim.Ticks
+	cycAdd  uint64
+}
+
+func newReplayCPU(clock sim.Clock, quantum int, acts []replayAction, tail uint64, port cpu.Port) *replayCPU {
+	if quantum <= 0 {
+		quantum = 200
+	}
+	c := &replayCPU{clock: clock, port: port, quantum: quantum, acts: acts, tail: tail}
+	c.loadPending()
+	return c
+}
+
+// loadPending arms the compute run preceding the next action (or the
+// trailing run once actions are exhausted). Maintained invariant:
+// pending always describes the instructions before acts[pos].
+func (c *replayCPU) loadPending() {
+	if c.pos < len(c.acts) {
+		c.pending = c.acts[c.pos].skip
+	} else if !c.tailLoaded {
+		c.pending = c.tail
+		c.tailLoaded = true
+	}
+}
+
+// Stats returns the core's counters.
+func (c *replayCPU) Stats() cpu.Stats {
+	st := c.stats
+	st.Cycles = uint64(c.cycBase/c.clock.Period) + c.cycAdd
+	return st
+}
+
+// Run executes up to one quantum of recorded instructions from t.
+func (c *replayCPU) Run(t sim.Ticks) cpu.Outcome {
+	period := c.clock.Period
+	acts := c.acts
+	quantum := c.quantum
+	for n := 0; n < quantum; {
+		if c.pending > 0 {
+			k := uint64(quantum - n)
+			if k > c.pending {
+				k = c.pending
+			}
+			t += period * sim.Ticks(k)
+			c.pending -= k
+			n += int(k)
+			c.stats.Instructions += k
+			c.cycBase, c.cycAdd = t, 0
+			continue
+		}
+		if c.pos >= len(acts) {
+			// loadPending's invariant guarantees the tail has been
+			// burned by the time we get here.
+			return cpu.Outcome{Kind: cpu.Finished, Time: t}
+		}
+		in := acts[c.pos].in
+		c.pos++
+		c.loadPending()
+		n++
+		c.stats.Instructions++
+		switch in.Op {
+		case isa.Lock, isa.Unlock, isa.Barrier:
+			t += period
+			c.cycAdd++
+			return cpu.Outcome{Kind: cpu.SyncOp, Time: t, Instr: in}
+
+		case isa.Load:
+			mi := c.port.Load(t, in.Addr, in.Size)
+			next := t + period
+			if mi.Done > next {
+				c.stats.LoadStalls += mi.Done - next
+				next = mi.Done
+			}
+			t = c.clock.Align(next)
+			if mi.WentToMemory {
+				return cpu.Outcome{Kind: cpu.Yield, Time: t}
+			}
+
+		case isa.Store:
+			mi := c.port.Store(t, in.Addr, in.Size)
+			next := t + period
+			if mi.Done > next {
+				next = mi.Done
+			}
+			t = c.clock.Align(next)
+			if mi.WentToMemory {
+				return cpu.Outcome{Kind: cpu.Yield, Time: t}
+			}
+
+		case isa.Prefetch:
+			c.port.Prefetch(t, in.Addr)
+			t += period
+
+		case isa.CacheOp:
+			mi := c.port.CacheOp(t, in.Addr, in.Aux)
+			next := t + period
+			if mi.Done > next {
+				next = mi.Done
+			}
+			t = c.clock.Align(next)
+
+		case isa.Syscall:
+			t += period * sim.Ticks(1+c.port.SyscallCost(in.Aux))
+
+		default:
+			// Unreachable via PrepareReplay's classification; charge a
+			// cycle like any compute instruction.
+			t += period
+		}
+		c.cycBase, c.cycAdd = t, 0
+	}
+	return cpu.Outcome{Kind: cpu.Yield, Time: t}
+}

@@ -1,0 +1,145 @@
+package machine_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"flashsim/internal/apps"
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+	"flashsim/internal/memsys"
+	"flashsim/internal/osmodel"
+	"flashsim/internal/trace"
+)
+
+// replayConfig returns a small SimOS-Mipsy machine at the default rung
+// of the detail ladder (classic Mipsy, unit latencies) — the
+// configuration under which trace-driven replay must be exact.
+func replayConfig(procs int) machine.Config {
+	cfg := machine.Base(procs, true)
+	cfg.Name = "test-simos-mipsy"
+	cfg.CPU = machine.CPUMipsy
+	cfg.ClockMHz = 150
+	cfg.OS = osmodel.DefaultSimOS()
+	cfg.Mem = machine.MemFlashLite
+	cfg.FlashTiming = memsys.TrueTiming()
+	return cfg
+}
+
+// replayKernels is the full internal/apps suite at sizes small enough
+// for a test but big enough to cross chunk boundaries, take TLB
+// misses, and exercise locks, barriers, prefetches, and cache ops.
+func replayKernels(procs int) []emitter.Program {
+	return []emitter.Program{
+		apps.FFT(apps.FFTOpts{LogN: 10, Procs: procs, Prefetch: true}),
+		apps.LU(apps.LUOpts{N: 64, Procs: procs}),
+		apps.Ocean(apps.OceanOpts{N: 34, Grids: 4, Iters: 2, Procs: procs}),
+		apps.Radix(apps.RadixOpts{Keys: 8 << 10, Radix: 32, Procs: procs, Verify: true}),
+		apps.CacheMgmt(apps.CacheMgmtOpts{Lines: 64, Rounds: 2, Procs: procs}),
+	}
+}
+
+// captureInto runs prog under cfg with a tap into a fresh in-memory
+// container and returns the result and the sealed container bytes.
+func captureInto(t *testing.T, cfg machine.Config, prog emitter.Program) (machine.Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, trace.Meta{Workload: prog.FullName(), Threads: prog.Threads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := machine.RunCapture(cfg, prog, tw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestCaptureReplayBitIdentical pins the tentpole exactness claim: for
+// every kernel, at the default configuration, capture→replay
+// reproduces the execution-driven Result — including the full
+// memory-system metrics, per-processor counters, and barrier release
+// times — bit for bit. It also pins that capturing is unobservable:
+// the tapped run's Result equals an untapped run's.
+func TestCaptureReplayBitIdentical(t *testing.T) {
+	const procs = 2
+	cfg := replayConfig(procs)
+	for _, prog := range replayKernels(procs) {
+		prog := prog
+		t.Run(prog.FullName(), func(t *testing.T) {
+			t.Parallel()
+			exec, err := machine.Run(cfg, prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			captured, data := captureInto(t, cfg, prog)
+			if !reflect.DeepEqual(captured, exec) {
+				t.Fatalf("capture perturbed the run:\nexec:     %+v\ncaptured: %+v", exec, captured)
+			}
+			tr, err := trace.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := machine.PrepareReplay(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			replay, err := machine.RunReplay(cfg, img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(replay, exec) {
+				t.Fatalf("replay diverged from execution-driven run:\nexec:   %+v\nreplay: %+v", exec, replay)
+			}
+		})
+	}
+}
+
+// TestReplayImageIsReusable pins decode-once/replay-many: one image
+// replayed twice (including concurrently-built machines) yields the
+// same Result both times.
+func TestReplayImageIsReusable(t *testing.T) {
+	const procs = 2
+	cfg := replayConfig(procs)
+	prog := apps.FFT(apps.FFTOpts{LogN: 10, Procs: procs})
+	_, data := captureInto(t, cfg, prog)
+	tr, err := trace.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := machine.PrepareReplay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := machine.RunReplay(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := machine.RunReplay(cfg, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("image reuse diverged:\nfirst:  %+v\nsecond: %+v", first, second)
+	}
+}
+
+// TestReplayThreadMismatchFails pins the procs guard.
+func TestReplayThreadMismatchFails(t *testing.T) {
+	cfg := replayConfig(2)
+	prog := apps.FFT(apps.FFTOpts{LogN: 10, Procs: 2})
+	_, data := captureInto(t, cfg, prog)
+	tr, err := trace.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := machine.PrepareReplay(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := replayConfig(4)
+	if _, err := machine.RunReplay(bad, img); err == nil {
+		t.Fatal("replay with mismatched processor count should fail")
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"flashsim/internal/cache"
 	"flashsim/internal/cpu"
-	"flashsim/internal/emitter"
 	"flashsim/internal/obs"
 	"flashsim/internal/proto"
 	"flashsim/internal/sim"
@@ -79,8 +78,10 @@ func (r Result) String() string {
 		r.Config, r.Procs, r.ExecSeconds()*1e3, r.Instructions, 100*r.L2MissRate(), r.TLBMisses)
 }
 
-// collect assembles the Result after the event loop drains.
-func (m *Machine) collect(streams *emitter.Streams) Result {
+// collect assembles the Result after the event loop drains. em is the
+// instruction-stream accounting: the drained Streams counters for an
+// execution-driven run, or the replay image's recorded equivalents.
+func (m *Machine) collect(em obs.EmitterCounters) Result {
 	r := Result{
 		Config:          m.cfg.Name,
 		Procs:           m.cfg.Procs,
@@ -119,7 +120,7 @@ func (m *Machine) collect(streams *emitter.Streams) Result {
 	if m.cfg.JitterPct != 0 {
 		r.Exec = jitter(r.Exec, m.cfg.JitterPct, m.cfg.Seed)
 	}
-	r.Metrics = m.buildMetrics(&r, streams)
+	r.Metrics = m.buildMetrics(&r, em)
 	return r
 }
 

@@ -9,6 +9,7 @@ import (
 	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
 	"flashsim/internal/param"
+	"flashsim/internal/trace"
 )
 
 // Fingerprint returns the content-addressed store key of one run: a
@@ -52,4 +53,79 @@ func Fingerprint(cfg machine.Config, prog emitter.Program) string {
 		panic(fmt.Sprintf("runner: fingerprint encoding failed: %v", err))
 	}
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TraceFingerprint returns the content address of a trace artifact: the
+// key a capture of prog under cfg is stored at in a TraceStore, and the
+// artifact identity replay-result fingerprints chain from. It differs
+// from Fingerprint in two ways: an explicit artifact kind tag (a trace
+// file is not a run result — the two key spaces must never collide) and
+// the trace container's FormatVersion (a container layout or stream
+// semantics change must never alias artifacts written by an older
+// build; TestTraceFingerprintSchemaVersioned pins this).
+//
+// The emitted streams themselves depend only on (workload, threads) —
+// emission is config-independent and deterministic — but the key
+// conservatively includes the capture configuration: a capture also
+// snapshots provenance (Meta.Config, Meta.Fingerprint), and keying on
+// the full tuple keeps "which run produced this trace" unambiguous.
+func TraceFingerprint(cfg machine.Config, prog emitter.Program) string {
+	return traceFingerprintAt(trace.FormatVersion, cfg, prog)
+}
+
+// traceFingerprintAt is TraceFingerprint pinned to an explicit format
+// version, so the schema-versioning test can prove that bumping the
+// version changes every key.
+func traceFingerprintAt(version int, cfg machine.Config, prog emitter.Program) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	err := enc.Encode(struct {
+		Kind        string
+		TraceFormat int
+		Config      json.RawMessage
+		Workload    string
+		Threads     int
+	}{"trace", version, param.Canonical(cfg), prog.FullName(), prog.Threads})
+	if err != nil {
+		panic(fmt.Sprintf("runner: trace fingerprint encoding failed: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// ReplayFingerprint returns the store key of a trace-driven run: replay
+// of the trace artifact traceFP on the machine described by cfg. The
+// kind tag keeps replay results from ever aliasing execution-driven
+// results under the same configuration — the two modes agree only at
+// the bottom of the detail ladder, and the store must preserve the
+// difference everywhere else. Chaining the artifact fingerprint (which
+// embeds trace.FormatVersion) means a trace schema bump invalidates
+// the derived replay results too.
+func ReplayFingerprint(cfg machine.Config, traceFP string) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	err := enc.Encode(struct {
+		Kind   string
+		Config json.RawMessage
+		Trace  string
+	}{"replay", param.Canonical(cfg), traceFP})
+	if err != nil {
+		panic(fmt.Sprintf("runner: replay fingerprint encoding failed: %v", err))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TraceMeta assembles the container metadata for capturing prog under
+// cfg: workload identity, capture-run fingerprint, the trace's own
+// content address, and the canonical configuration snapshot. source,
+// when non-nil, is a machine-readable workload spec recorded verbatim
+// (tools use it to rebuild the execution-driven program).
+func TraceMeta(cfg machine.Config, prog emitter.Program, source json.RawMessage) trace.Meta {
+	return trace.Meta{
+		Workload:    prog.FullName(),
+		Threads:     prog.Threads,
+		Fingerprint: Fingerprint(cfg, prog),
+		Artifact:    TraceFingerprint(cfg, prog),
+		Config:      param.Canonical(cfg),
+		Source:      source,
+	}
 }

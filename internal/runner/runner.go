@@ -35,6 +35,12 @@ import (
 type Job struct {
 	Config machine.Config
 	Prog   emitter.Program
+	// Replay, when non-nil, makes this a trace-driven job: the machine
+	// replays the prepared image instead of emitting and modeling Prog
+	// (which is ignored). Replay jobs memoize under ReplayFingerprint
+	// when the image carries a trace artifact address; images without
+	// one always execute.
+	Replay *machine.ReplayImage
 	// Procs overrides Config.Procs when positive.
 	Procs int
 	// Seed overrides Config.Seed when nonzero.
@@ -53,8 +59,27 @@ func (j Job) config() machine.Config {
 	return cfg
 }
 
-// Fingerprint returns the job's content-addressed store key.
-func (j Job) Fingerprint() string { return Fingerprint(j.config(), j.Prog) }
+// Fingerprint returns the job's content-addressed store key. Replay
+// jobs key on the trace artifact's address chained through
+// ReplayFingerprint, so they never alias execution-driven results; a
+// replay of an unaddressed image gets an empty key (not memoizable).
+func (j Job) Fingerprint() string {
+	if j.Replay != nil {
+		if j.Replay.Artifact() == "" {
+			return ""
+		}
+		return ReplayFingerprint(j.config(), j.Replay.Artifact())
+	}
+	return Fingerprint(j.config(), j.Prog)
+}
+
+// Workload names what the job runs, for error messages and logs.
+func (j Job) Workload() string {
+	if j.Replay != nil {
+		return j.Replay.Workload() + " (replay)"
+	}
+	return j.Prog.FullName()
+}
 
 // Outcome is the per-job result of a batch: exactly one of Result or
 // Err is meaningful. Cached reports a memoized result (no machine.Run
@@ -143,7 +168,7 @@ func (p *Pool) Run(ctx context.Context, jobs []Job) ([]machine.Result, error) {
 	for i, o := range outs {
 		if o.Err != nil {
 			return nil, fmt.Errorf("run %d/%d (%s on %q): %w",
-				i+1, len(jobs), jobs[i].Prog.FullName(), jobs[i].config().Name, o.Err)
+				i+1, len(jobs), jobs[i].Workload(), jobs[i].config().Name, o.Err)
 		}
 		results[i] = o.Result
 	}
@@ -236,7 +261,9 @@ func (p *Pool) runOne(ctx context.Context, j Job) (o Outcome) {
 	cfg := j.config()
 	key := ""
 	if p.store != nil {
-		key = Fingerprint(cfg, j.Prog)
+		key = j.Fingerprint()
+	}
+	if key != "" {
 		if res, ok := p.store.Get(key); ok {
 			// The fingerprint is Name-blind, so a hit may come from a
 			// run under a different label; re-stamp it with ours.
@@ -250,14 +277,20 @@ func (p *Pool) runOne(ctx context.Context, j Job) (o Outcome) {
 		}
 	}
 	t0 := time.Now()
-	res, err := machine.Run(cfg, j.Prog)
+	var res machine.Result
+	var err error
+	if j.Replay != nil {
+		res, err = machine.RunReplay(cfg, j.Replay)
+	} else {
+		res, err = machine.Run(cfg, j.Prog)
+	}
 	p.cpu.add(int64(time.Since(t0)))
 	p.ran.add(1)
 	if err != nil {
 		p.failed.add(1)
 		return Outcome{Err: err}
 	}
-	if p.store != nil {
+	if key != "" {
 		p.store.Put(key, res)
 	}
 	if p.metrics != nil {

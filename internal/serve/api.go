@@ -40,6 +40,12 @@ const (
 	KindRun         JobKind = "run"
 	KindCalibration JobKind = "calibration"
 	KindFigure      JobKind = "figure"
+	// KindCapture runs a workload execution-driven while recording its
+	// instruction streams into the server's trace store; KindReplay runs
+	// a stored capture trace-driven under a chosen configuration. Both
+	// require a trace store (flashd -trace-dir).
+	KindCapture JobKind = "capture"
+	KindReplay  JobKind = "replay"
 )
 
 // JobState is a job's lifecycle position.
@@ -275,6 +281,47 @@ type FigureResponse struct {
 	// core.CompareResult for figures 1-4, []core.Curve for 5-7).
 	Text string `json:"text"`
 	Data any    `json:"data,omitempty"`
+}
+
+// CaptureRequest submits an execution-driven run of a workload that
+// also records its per-thread instruction streams into the server's
+// content-addressed trace store (store once, replay many: a capture of
+// an already-stored (config, workload) tuple runs the simulation —
+// memoized like any run — but writes no second container).
+type CaptureRequest struct {
+	ConfigSpec
+	Workload  WorkloadSpec `json:"workload"`
+	TimeoutMS int64        `json:"timeout_ms,omitempty"`
+}
+
+// CaptureResponse is the completed payload of a capture job.
+type CaptureResponse struct {
+	Job    JobStatus      `json:"job"`
+	Result machine.Result `json:"result"`
+	// Trace is the container's content address (runner.TraceFingerprint)
+	// in the server's trace store; pass it to a ReplayRequest.
+	Trace string `json:"trace"`
+	// Stored is false when the container already existed.
+	Stored bool `json:"stored"`
+}
+
+// ReplayRequest submits a trace-driven run: the capture identified by
+// Trace is replayed on the machine described by the config spec. The
+// workload (and thread count) come from the container.
+type ReplayRequest struct {
+	ConfigSpec
+	// Trace is a capture's content-address fingerprint, from a
+	// CaptureResponse (or flashtrace capture -store).
+	Trace     string `json:"trace"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// ReplayResponse is the completed payload of a replay job.
+type ReplayResponse struct {
+	Job      JobStatus      `json:"job"`
+	Result   machine.Result `json:"result"`
+	Trace    string         `json:"trace"`
+	Workload string         `json:"workload"`
 }
 
 // ErrorResponse is the JSON body of every non-2xx response.

@@ -19,6 +19,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/calibrations", s.handleSubmitCalibration)
 	s.mux.HandleFunc("POST /v1/figures", s.handleSubmitFigure)
+	s.mux.HandleFunc("POST /v1/captures", s.handleSubmitCapture)
+	s.mux.HandleFunc("POST /v1/replays", s.handleSubmitReplay)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
@@ -110,6 +112,12 @@ func (s *Server) respondPayload(w http.ResponseWriter, rec *jobRecord, coalesced
 		case FigureResponse:
 			p.Job = st
 			writeJSON(w, http.StatusOK, p)
+		case CaptureResponse:
+			p.Job = st
+			writeJSON(w, http.StatusOK, p)
+		case ReplayResponse:
+			p.Job = st
+			writeJSON(w, http.StatusOK, p)
 		default:
 			writeError(w, http.StatusInternalServerError, "job %s finished without a payload", rec.id)
 		}
@@ -190,6 +198,74 @@ func (s *Server) handleSubmitFigure(w http.ResponseWriter, r *http.Request) {
 	fp := fmt.Sprintf("figure:%d:quick=%v", req.Figure, req.Quick)
 	rec, coalesced, why := s.admit(KindFigure, fp, req.TimeoutMS, func(rec *jobRecord) {
 		rec.figure = req
+	})
+	if why != admitOK {
+		s.rejectAdmission(w, why)
+		return
+	}
+	s.respondSubmitted(w, r, rec, coalesced)
+}
+
+func (s *Server) handleSubmitCapture(w http.ResponseWriter, r *http.Request) {
+	var req CaptureRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.traces == nil {
+		writeError(w, http.StatusBadRequest, "no trace store configured (start flashd with -trace-dir)")
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "config: %v", err)
+		return
+	}
+	prog, err := req.Workload.Program(cfg.Procs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "workload: %v", err)
+		return
+	}
+	fp := "capture:" + runner.TraceFingerprint(cfg, prog)
+	rec, coalesced, why := s.admit(KindCapture, fp, req.TimeoutMS, func(rec *jobRecord) {
+		rec.capture = req
+	})
+	if why != admitOK {
+		s.rejectAdmission(w, why)
+		return
+	}
+	s.respondSubmitted(w, r, rec, coalesced)
+}
+
+func (s *Server) handleSubmitReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if err := decode(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.traces == nil {
+		writeError(w, http.StatusBadRequest, "no trace store configured (start flashd with -trace-dir)")
+		return
+	}
+	if req.Trace == "" {
+		writeError(w, http.StatusBadRequest, "trace fingerprint missing")
+		return
+	}
+	if !s.traces.Has(req.Trace) {
+		writeError(w, http.StatusNotFound, "no trace %q in the store (capture it first)", req.Trace)
+		return
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "config: %v", err)
+		return
+	}
+	// The dedup key covers the requested spec verbatim (procs 0 means
+	// "the trace's thread count"; the executor resolves it); the memo
+	// store underneath keys on the resolved runner.ReplayFingerprint.
+	fp := configFingerprint(KindReplay, cfg) + ":" + req.Trace
+	rec, coalesced, why := s.admit(KindReplay, fp, req.TimeoutMS, func(rec *jobRecord) {
+		rec.replay = req
 	})
 	if why != admitOK {
 		s.rejectAdmission(w, why)

@@ -25,9 +25,11 @@ type jobRecord struct {
 	cancel context.CancelFunc
 
 	// Exactly one of these is meaningful, per kind.
-	job    runner.Job     // KindRun
-	calCfg machine.Config // KindCalibration
-	figure FigureRequest  // KindFigure
+	job     runner.Job     // KindRun
+	calCfg  machine.Config // KindCalibration
+	figure  FigureRequest  // KindFigure
+	capture CaptureRequest // KindCapture
+	replay  ReplayRequest  // KindReplay
 
 	mu      sync.Mutex
 	status  JobStatus

@@ -4,8 +4,10 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -17,6 +19,7 @@ import (
 	"flashsim/internal/obs"
 	"flashsim/internal/param"
 	"flashsim/internal/runner"
+	"flashsim/internal/trace"
 )
 
 // Options configures a Server.
@@ -35,6 +38,10 @@ type Options struct {
 	// RetryAfter is the backpressure hint attached to 429 responses
 	// (default 1s).
 	RetryAfter time.Duration
+	// Traces, when non-nil, enables the capture and replay endpoints:
+	// captures store containers here, replays load them (flashd
+	// -trace-dir). Without it those submissions are rejected with 400.
+	Traces *runner.TraceStore
 }
 
 // Server is the HTTP front end: a bounded job queue feeding the runner
@@ -81,6 +88,15 @@ type Server struct {
 	// The runs inside a figure still fan out across the pool.
 	sessMu   sync.Mutex
 	sessions map[harness.Scale]*harness.Session
+
+	// traces is the content-addressed container store backing capture
+	// and replay jobs (nil = endpoints disabled). images memoizes
+	// prepared replay images by trace fingerprint — decode once, replay
+	// many across requests; entries are bounded by the number of
+	// distinct stored traces.
+	traces *runner.TraceStore
+	imgMu  sync.Mutex
+	images map[string]*machine.ReplayImage
 }
 
 // New returns a running server (workers started, ready for Handler).
@@ -109,6 +125,8 @@ func New(opts Options) *Server {
 		jobs:       make(map[string]*jobRecord),
 		fpIndex:    make(map[string]*jobRecord),
 		sessions:   make(map[harness.Scale]*harness.Session),
+		traces:     opts.Traces,
+		images:     make(map[string]*machine.ReplayImage),
 	}
 	// Every outcome the pool produces is recorded, so /metrics always
 	// has data; a collector attached by the caller (e.g. -metrics-out)
@@ -234,6 +252,28 @@ func (s *Server) execute(rec *jobRecord) {
 		st := rec.Status()
 		st.State = StateDone
 		rec.finish(StateDone, "", false, FigureResponse{Job: st, Figure: rec.figure.Figure, Text: text, Data: data})
+	case KindCapture:
+		resp, cached, err := s.runCapture(rec.ctx, rec.capture)
+		if err != nil {
+			rec.finish(failState(err), err.Error(), false, nil)
+			return
+		}
+		st := rec.Status()
+		st.State = StateDone
+		st.Cached = cached
+		resp.Job = st
+		rec.finish(StateDone, "", cached, resp)
+	case KindReplay:
+		resp, cached, err := s.runReplay(rec.ctx, rec.replay)
+		if err != nil {
+			rec.finish(failState(err), err.Error(), false, nil)
+			return
+		}
+		st := rec.Status()
+		st.State = StateDone
+		st.Cached = cached
+		resp.Job = st
+		rec.finish(StateDone, "", cached, resp)
 	default:
 		rec.finish(StateFailed, fmt.Sprintf("unknown job kind %q", rec.kind), false, nil)
 	}
@@ -295,6 +335,105 @@ func (s *Server) runFigure(req FigureRequest) (string, any, error) {
 	default:
 		return "", nil, fmt.Errorf("unknown figure %d (want 1-7)", req.Figure)
 	}
+}
+
+// runCapture executes one capture job: run the workload
+// execution-driven with a tap into the trace store. When the container
+// already exists the simulation still runs (through the flight, so it
+// memoizes and coalesces like any run) but no second container is
+// written — store once, replay many.
+func (s *Server) runCapture(ctx context.Context, req CaptureRequest) (CaptureResponse, bool, error) {
+	if s.traces == nil {
+		return CaptureResponse{}, false, fmt.Errorf("no trace store configured (start flashd with -trace-dir)")
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		return CaptureResponse{}, false, fmt.Errorf("config: %w", err)
+	}
+	prog, err := req.Workload.Program(cfg.Procs)
+	if err != nil {
+		return CaptureResponse{}, false, fmt.Errorf("workload: %w", err)
+	}
+	fp := runner.TraceFingerprint(cfg, prog)
+	if !s.traces.Has(fp) {
+		source, err := json.Marshal(req.Workload)
+		if err != nil {
+			return CaptureResponse{}, false, err
+		}
+		var res machine.Result
+		stored, err := s.traces.Save(fp, func(w io.Writer) error {
+			tw, err := trace.NewWriter(w, runner.TraceMeta(cfg, prog, source))
+			if err != nil {
+				return err
+			}
+			res, err = machine.RunCapture(cfg, prog, tw)
+			return err
+		})
+		if err != nil {
+			return CaptureResponse{}, false, err
+		}
+		if stored {
+			return CaptureResponse{Result: res, Trace: fp, Stored: true}, false, nil
+		}
+	}
+	// Already captured: serve the result like a plain run (memoized when
+	// the pool has a store) and point at the existing container.
+	out, _ := s.flight.Run(ctx, runner.Job{Config: cfg, Prog: prog})
+	if out.Err != nil {
+		return CaptureResponse{}, false, out.Err
+	}
+	return CaptureResponse{Result: out.Result, Trace: fp, Stored: false}, out.Cached, nil
+}
+
+// runReplay executes one replay job: load (or reuse) the prepared image
+// for the requested trace and run it trace-driven through the flight,
+// memoizing under ReplayFingerprint.
+func (s *Server) runReplay(ctx context.Context, req ReplayRequest) (ReplayResponse, bool, error) {
+	if s.traces == nil {
+		return ReplayResponse{}, false, fmt.Errorf("no trace store configured (start flashd with -trace-dir)")
+	}
+	img, err := s.replayImage(req.Trace)
+	if err != nil {
+		return ReplayResponse{}, false, err
+	}
+	if req.Procs == 0 {
+		// The machine must match the trace's thread count; default to it
+		// rather than ConfigSpec's one-processor default.
+		req.Procs = img.Threads()
+	}
+	cfg, err := req.Config()
+	if err != nil {
+		return ReplayResponse{}, false, fmt.Errorf("config: %w", err)
+	}
+	out, _ := s.flight.Run(ctx, runner.Job{Config: cfg, Replay: img})
+	if out.Err != nil {
+		return ReplayResponse{}, false, out.Err
+	}
+	return ReplayResponse{Result: out.Result, Trace: req.Trace, Workload: img.Workload()}, out.Cached, nil
+}
+
+// replayImage returns the prepared replay image for a stored trace,
+// decoding it at most once per server lifetime (the cache grows at most
+// one entry per distinct stored container).
+func (s *Server) replayImage(fp string) (*machine.ReplayImage, error) {
+	s.imgMu.Lock()
+	defer s.imgMu.Unlock()
+	if img, ok := s.images[fp]; ok {
+		return img, nil
+	}
+	if !s.traces.Has(fp) {
+		return nil, fmt.Errorf("no trace %q in the store (capture it first)", fp)
+	}
+	tr, err := s.traces.Load(fp)
+	if err != nil {
+		return nil, err
+	}
+	img, err := machine.PrepareReplay(tr)
+	if err != nil {
+		return nil, err
+	}
+	s.images[fp] = img
+	return img, nil
 }
 
 // admitError classifies a rejected submission.

@@ -404,3 +404,88 @@ func TestServerEventsStreamsToTerminal(t *testing.T) {
 		t.Errorf("terminal SSE state = %s, want done", last.State)
 	}
 }
+
+// TestServerCaptureReplayRoundTrip pins the daemon's trace-driven
+// path: a capture stores a container once (a second identical capture
+// reuses it), and a replay of the fingerprint — at the capture's
+// configuration — reproduces the execution-driven result bit for bit.
+func TestServerCaptureReplayRoundTrip(t *testing.T) {
+	traces, err := runner.NewTraceStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts, gate := newTestServer(t, Options{Traces: traces})
+	close(gate)
+
+	capBody := []byte(`{"base":"simos-mipsy","procs":2,"workload":{"name":"fft","logn":10}}`)
+	resp, data := postJSON(t, ts.URL+"/v1/captures?wait=true", capBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capture: status %d, body %s", resp.StatusCode, data)
+	}
+	var cap1 CaptureResponse
+	if err := json.Unmarshal(data, &cap1); err != nil {
+		t.Fatal(err)
+	}
+	if !cap1.Stored || cap1.Trace == "" {
+		t.Fatalf("cold capture not stored: %+v", cap1.Job)
+	}
+	if !traces.Has(cap1.Trace) {
+		t.Fatalf("store has no container under %s", cap1.Trace)
+	}
+
+	// A second identical capture must not write a second container.
+	resp, data = postJSON(t, ts.URL+"/v1/captures?wait=true", capBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm capture: status %d, body %s", resp.StatusCode, data)
+	}
+	var cap2 CaptureResponse
+	if err := json.Unmarshal(data, &cap2); err != nil {
+		t.Fatal(err)
+	}
+	if cap2.Stored || cap2.Trace != cap1.Trace {
+		t.Fatalf("warm capture stored=%v trace=%s, want reuse of %s", cap2.Stored, cap2.Trace, cap1.Trace)
+	}
+
+	// Replay at the capture configuration (procs defaults to the
+	// trace's thread count) is bit-identical to the captured run.
+	repBody := []byte(fmt.Sprintf(`{"base":"simos-mipsy","trace":%q}`, cap1.Trace))
+	resp, data = postJSON(t, ts.URL+"/v1/replays?wait=true", repBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replay: status %d, body %s", resp.StatusCode, data)
+	}
+	var rep ReplayResponse
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Result.Exec != cap1.Result.Exec || rep.Result.Instructions != cap1.Result.Instructions {
+		t.Errorf("replay diverged: exec %v/%v instrs %d/%d",
+			rep.Result.Exec, cap1.Result.Exec, rep.Result.Instructions, cap1.Result.Instructions)
+	}
+	if rep.Workload == "" {
+		t.Error("replay response missing workload")
+	}
+
+	// An unknown fingerprint is a 404 at submission time.
+	resp, data = postJSON(t, ts.URL+"/v1/replays?wait=true",
+		[]byte(`{"base":"simos-mipsy","trace":"deadbeef"}`))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace: status %d, body %s", resp.StatusCode, data)
+	}
+}
+
+// TestServerTraceEndpointsNeedStore pins the 400 when no trace store
+// is configured.
+func TestServerTraceEndpointsNeedStore(t *testing.T) {
+	_, ts, gate := newTestServer(t, Options{})
+	close(gate)
+	resp, data := postJSON(t, ts.URL+"/v1/captures?wait=true",
+		[]byte(`{"base":"simos-mipsy","procs":1,"workload":{"name":"fft","logn":8}}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("capture without store: status %d, body %s", resp.StatusCode, data)
+	}
+	resp, data = postJSON(t, ts.URL+"/v1/replays?wait=true",
+		[]byte(`{"base":"simos-mipsy","trace":"deadbeef"}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("replay without store: status %d, body %s", resp.StatusCode, data)
+	}
+}

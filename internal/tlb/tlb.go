@@ -43,6 +43,7 @@ type TLB struct {
 	vps    []uint64 // resident virtual page numbers (unordered)
 	stamps []uint64 // per-slot recency; larger = more recent
 	clock  uint64
+	mru    int // slot of the last hit/refill, -1 when unknown
 	stats  obs.TLBCounters
 }
 
@@ -55,6 +56,7 @@ func New(cfg Config) *TLB {
 		cfg:    cfg,
 		vps:    make([]uint64, 0, cfg.Entries),
 		stamps: make([]uint64, 0, cfg.Entries),
+		mru:    -1,
 	}
 }
 
@@ -62,12 +64,29 @@ func New(cfg Config) *TLB {
 func (t *TLB) Config() Config { return t.cfg }
 
 // Access looks up virtual page vp, refilling on a miss. It reports
-// whether the access hit.
+// whether the access hit. Consecutive accesses to one page are the
+// common case, so the slot of the previous hit is checked before the
+// full scan; the hit/miss/eviction sequence is unchanged.
 func (t *TLB) Access(vp uint64) bool {
+	if m := t.mru; m >= 0 && t.vps[m] == vp {
+		t.stats.Hits++
+		t.clock++
+		t.stamps[m] = t.clock
+		return true
+	}
 	if i := t.lookup(vp); i >= 0 {
+		if i > 0 {
+			// Move-to-front so alternating hot pages stay at the head
+			// of the scan. Slot order is not semantically meaningful —
+			// the stamps alone decide LRU eviction.
+			t.vps[0], t.vps[i] = t.vps[i], t.vps[0]
+			t.stamps[0], t.stamps[i] = t.stamps[i], t.stamps[0]
+			i = 0
+		}
 		t.stats.Hits++
 		t.clock++
 		t.stamps[i] = t.clock
+		t.mru = i
 		return true
 	}
 	t.stats.Misses++
@@ -100,12 +119,14 @@ func (t *TLB) Invalidate(vp uint64) {
 	t.stamps[i] = t.stamps[last]
 	t.vps = t.vps[:last]
 	t.stamps = t.stamps[:last]
+	t.mru = -1
 }
 
 // Flush empties the TLB (context switch).
 func (t *TLB) Flush() {
 	t.vps = t.vps[:0]
 	t.stamps = t.stamps[:0]
+	t.mru = -1
 }
 
 // insert adds vp, evicting the least recently used entry if full.
@@ -121,10 +142,12 @@ func (t *TLB) insert(vp uint64) {
 		}
 		t.vps[victim] = vp
 		t.stamps[victim] = t.clock
+		t.mru = victim
 		return
 	}
 	t.vps = append(t.vps, vp)
 	t.stamps = append(t.stamps, t.clock)
+	t.mru = len(t.vps) - 1
 }
 
 // Hits returns the number of TLB hits.

@@ -1,0 +1,85 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"flashsim/internal/isa"
+	"flashsim/internal/trace"
+)
+
+// fuzzSeed builds a small real container (two threads, a few thousand
+// mixed instructions) so the fuzzer starts from valid structure and
+// mutates inward, instead of spending its budget rediscovering the
+// magic numbers.
+func fuzzSeed(f *testing.F) []byte {
+	f.Helper()
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, trace.Meta{Workload: "fuzz-seed", Threads: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tw.Tap(0, synthStream(101, 3000))
+	tw.Tap(1, synthStream(102, 500))
+	if err := tw.Finish(); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode pins the reader's central robustness contract: on
+// arbitrary bytes, Decode and full stream verification return errors —
+// they never panic, and never let a malformed container masquerade as
+// more instructions than its index admits.
+func FuzzDecode(f *testing.F) {
+	seed := fuzzSeed(f)
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add(seed[:12])
+	f.Add([]byte("FLTRACE\n"))
+	f.Add([]byte{})
+	// A corrupted-footer variant: valid framing, JSON garbage inside.
+	corrupt := bytes.Clone(seed)
+	if len(corrupt) > 40 {
+		copy(corrupt[len(corrupt)-30:len(corrupt)-16], "##############")
+	}
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := trace.Decode(data)
+		if err != nil {
+			return // rejection is the expected outcome for most mutants
+		}
+		// Structurally valid: full verification must complete without
+		// panicking, and an accepted stream must agree with the index.
+		n, err := tr.Verify()
+		if err != nil {
+			return
+		}
+		if n != tr.Instructions() {
+			t.Fatalf("verified %d instructions, index says %d", n, tr.Instructions())
+		}
+		for i := 0; i < tr.Threads(); i++ {
+			cur := tr.Thread(i)
+			var got uint64
+			for {
+				b, err := cur.NextBatch()
+				if err != nil {
+					t.Fatalf("thread %d errored after Verify passed: %v", i, err)
+				}
+				if b == nil {
+					break
+				}
+				for _, in := range b {
+					if in.Op >= isa.NumOps {
+						t.Fatalf("decoded invalid opcode %d", in.Op)
+					}
+				}
+				got += uint64(len(b))
+			}
+			if got != tr.ThreadInstructions(i) {
+				t.Fatalf("thread %d streamed %d instructions, index says %d", i, got, tr.ThreadInstructions(i))
+			}
+		}
+	})
+}

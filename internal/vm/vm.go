@@ -59,21 +59,42 @@ type Allocator interface {
 
 // PageTable maps virtual pages to physical pages, populating lazily via
 // an Allocator (first touch).
+//
+// Programs allocate their regions contiguously from a low base, so the
+// table is a dense array over the address-space span — one load per
+// translation on the critical path of every simulated memory access.
+// Rare out-of-span addresses (synthetic stack/anon pages) fall back to
+// a map.
 type PageTable struct {
-	nodes   int
-	alloc   Allocator
-	space   *emitter.AddressSpace
-	entries map[uint64]PhysPage
-	faults  uint64
+	nodes  int
+	alloc  Allocator
+	space  *emitter.AddressSpace
+	dense  []PhysPage          // vp-indexed; Node < 0 means unmapped
+	sparse map[uint64]PhysPage // vps at or beyond len(dense)
+	mapped int
+	faults uint64
 }
+
+// densePageLimit caps the dense table at 8M entries (a 64 MB table
+// spanning 32 GB of virtual space); anything beyond spills to the map.
+const densePageLimit = 8 << 20
 
 // NewPageTable creates an empty page table over the given address space.
 func NewPageTable(space *emitter.AddressSpace, nodes int, alloc Allocator) *PageTable {
+	npages := (space.Span() + PageSize - 1) >> PageShift
+	if npages > densePageLimit {
+		npages = densePageLimit
+	}
+	dense := make([]PhysPage, npages)
+	for i := range dense {
+		dense[i].Node = -1
+	}
 	return &PageTable{
-		nodes:   nodes,
-		alloc:   alloc,
-		space:   space,
-		entries: make(map[uint64]PhysPage),
+		nodes:  nodes,
+		alloc:  alloc,
+		space:  space,
+		dense:  dense,
+		sparse: make(map[uint64]PhysPage),
 	}
 }
 
@@ -82,9 +103,18 @@ func NewPageTable(space *emitter.AddressSpace, nodes int, alloc Allocator) *Page
 // access caused the page to be mapped (a cold page fault).
 func (pt *PageTable) Translate(va uint64, touchNode int) (PhysPage, bool) {
 	vp := VPage(va)
-	if p, ok := pt.entries[vp]; ok {
+	if vp < uint64(len(pt.dense)) {
+		if p := pt.dense[vp]; p.Node >= 0 {
+			return p, false
+		}
+	} else if p, ok := pt.sparse[vp]; ok {
 		return p, false
 	}
+	return pt.fault(vp, va, touchNode)
+}
+
+// fault maps vp on first touch.
+func (pt *PageTable) fault(vp, va uint64, touchNode int) (PhysPage, bool) {
 	region, ok := pt.space.FindRegion(va)
 	if !ok {
 		// Stack/miscellaneous addresses outside named regions get a
@@ -96,19 +126,29 @@ func (pt *PageTable) Translate(va uint64, touchNode int) (PhysPage, bool) {
 	if int(p.Node) >= pt.nodes || p.Node < 0 {
 		panic(fmt.Sprintf("vm: allocator %s placed page on node %d of %d", pt.alloc.Name(), p.Node, pt.nodes))
 	}
-	pt.entries[vp] = p
+	if vp < uint64(len(pt.dense)) {
+		pt.dense[vp] = p
+	} else {
+		pt.sparse[vp] = p
+	}
+	pt.mapped++
 	pt.faults++
 	return p, true
 }
 
 // Lookup returns the mapping without faulting.
 func (pt *PageTable) Lookup(va uint64) (PhysPage, bool) {
-	p, ok := pt.entries[VPage(va)]
+	vp := VPage(va)
+	if vp < uint64(len(pt.dense)) {
+		p := pt.dense[vp]
+		return p, p.Node >= 0
+	}
+	p, ok := pt.sparse[vp]
 	return p, ok
 }
 
 // Mapped returns the number of mapped pages.
-func (pt *PageTable) Mapped() int { return len(pt.entries) }
+func (pt *PageTable) Mapped() int { return pt.mapped }
 
 // Faults returns the number of cold page faults taken.
 func (pt *PageTable) Faults() uint64 { return pt.faults }

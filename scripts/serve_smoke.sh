@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the serving loop: boot flashd, submit one snbench
-# run over HTTP, resubmit it to hit the warm cache, then SIGTERM the
+# run over HTTP, resubmit it to hit the warm cache, capture a workload
+# into the trace store and replay it by fingerprint, then SIGTERM the
 # daemon and require a clean drain. CI runs this after the unit tests;
 # it needs only curl and a Go toolchain.
 set -euo pipefail
@@ -12,6 +13,7 @@ trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/flashd" ./cmd/flashd
 "$workdir/flashd" -addr "$addr" -cache-dir "$workdir/cache" -cache-max-bytes 64MiB \
+  -trace-dir "$workdir/traces" \
   -metrics-out "$workdir/metrics.json" >"$workdir/flashd.log" 2>&1 &
 pid=$!
 
@@ -39,14 +41,36 @@ code=$(submit "$workdir/warm.json")
 [ "$code" = 200 ] || { echo "warm submit: HTTP $code" >&2; cat "$workdir/warm.json" >&2; exit 1; }
 grep -q '"cached": true' "$workdir/warm.json" || { echo "warm run missed the cache" >&2; exit 1; }
 
+# Capture a small FFT into the trace store, then replay it by
+# fingerprint; the trace-driven result must match the captured run.
+capreq='{"base":"simos-mipsy","procs":2,"workload":{"name":"fft","logn":10}}'
+code=$(curl -sS -o "$workdir/capture.json" -w '%{http_code}' -X POST "$base/v1/captures?wait=true" \
+  -H 'Content-Type: application/json' -d "$capreq")
+[ "$code" = 200 ] || { echo "capture: HTTP $code" >&2; cat "$workdir/capture.json" >&2; exit 1; }
+grep -q '"stored": true' "$workdir/capture.json" || { echo "capture not stored" >&2; exit 1; }
+fp=$(sed -n 's/.*"trace": "\([0-9a-f]*\)".*/\1/p' "$workdir/capture.json" | head -1)
+[ -n "$fp" ] || { echo "capture response has no trace fingerprint" >&2; exit 1; }
+ls "$workdir/traces/$fp.fltr" >/dev/null || { echo "no container on disk for $fp" >&2; exit 1; }
+
+code=$(curl -sS -o "$workdir/replay.json" -w '%{http_code}' -X POST "$base/v1/replays?wait=true" \
+  -H 'Content-Type: application/json' -d "{\"base\":\"simos-mipsy\",\"trace\":\"$fp\"}")
+[ "$code" = 200 ] || { echo "replay: HTTP $code" >&2; cat "$workdir/replay.json" >&2; exit 1; }
+cap_exec=$(grep -m1 '"Exec":' "$workdir/capture.json" | tr -dc '0-9')
+rep_exec=$(grep -m1 '"Exec":' "$workdir/replay.json" | tr -dc '0-9')
+if [ -z "$cap_exec" ] || [ "$cap_exec" != "$rep_exec" ]; then
+  echo "replay Exec ($rep_exec) != captured Exec ($cap_exec)" >&2; exit 1
+fi
+
+# Two pool executions: the cold run and the replay (the capture runs
+# outside the pool by design — a memo hit can't fill a trace).
 curl -fsS -o "$workdir/metrics.prom" "$base/metrics"
-grep -q '^flashsim_runner_runs_total 1$' "$workdir/metrics.prom" \
-  || { echo "/metrics does not show exactly one execution" >&2; exit 1; }
+grep -q '^flashsim_runner_runs_total 2$' "$workdir/metrics.prom" \
+  || { echo "/metrics does not show exactly two executions" >&2; exit 1; }
 
 kill -TERM "$pid"
 if ! wait "$pid"; then
   echo "flashd exited nonzero on SIGTERM:" >&2; cat "$workdir/flashd.log" >&2; exit 1
 fi
-grep -q '"Ran": 1' "$workdir/metrics.json" || { echo "-metrics-out not flushed on drain" >&2; exit 1; }
+grep -q '"Ran": 2' "$workdir/metrics.json" || { echo "-metrics-out not flushed on drain" >&2; exit 1; }
 
-echo "serve smoke OK: cold run simulated, warm run cached, drained cleanly"
+echo "serve smoke OK: cold run simulated, warm run cached, capture stored, replay bit-identical, drained cleanly"
