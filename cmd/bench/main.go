@@ -208,8 +208,48 @@ var benchmarks = []struct {
 		cfg.JitterPct = 0
 		benchRun(b, cfg)
 	}},
+	{"sim-speed-sampled", func(b *testing.B) {
+		// Execution-driven sampling under the default warm schedule: the
+		// speed side of the validate -experiment sampling error rows.
+		// Live generation and warm-state touches bound the win.
+		cfg := core.SimOSMipsy(1, 150, true)
+		cfg.Sampling = machine.DefaultSampling()
+		benchRun(b, cfg)
+	}},
+	{"sim-speed-sampled-replay", func(b *testing.B) {
+		// The replay image as the fast-forward stream, default schedule:
+		// collapsed compute runs skip in O(1) but warm touches remain.
+		benchSampledReplay(b, machine.DefaultSampling())
+	}},
+	{"sim-speed-sampled-replay-cold", func(b *testing.B) {
+		// The speed end of the trade-off: trace fast-forward with a
+		// sparse cold schedule (2% detailed, no warm touches). Compare
+		// against sim-speed-mipsy for the sampled-vs-execution-driven
+		// speedup; validate -experiment sampling prices the error.
+		sched := machine.DefaultSampling()
+		sched.Period = 100_000
+		sched.ColdState = true
+		benchSampledReplay(b, sched)
+	}},
 	{"figure1-quick", func(b *testing.B) {
 		s := harness.NewSession(harness.ScaleQuick)
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.Figure1(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}},
+	{"figure1-sampled", func(b *testing.B) {
+		// The same figure with every study simulator running the default
+		// sampling schedule: the speed axis of the sampled-simulation
+		// trade-off, paired with validate -experiment sampling's error
+		// axis. The hardware reference is outside the override and stays
+		// as-is, so the delta vs figure1-quick is the simulators' win.
+		s := harness.NewSession(harness.ScaleQuick)
+		s.Override = func(cfg machine.Config) (machine.Config, error) {
+			cfg.Sampling = machine.DefaultSampling()
+			return cfg, nil
+		}
 		for i := 0; i < b.N; i++ {
 			if _, _, err := s.Figure1(); err != nil {
 				b.Fatal(err)
@@ -243,6 +283,42 @@ func benchInstrs(n int) []isa.Instr {
 		}
 	}
 	return ins[:n]
+}
+
+// benchSampledReplay captures the benchmark FFT once (outside the
+// timer — a trace is captured once and replayed many times) and then
+// measures sampled replay of the image under sched.
+func benchSampledReplay(b *testing.B, sched machine.SamplingConfig) {
+	cfg := core.SimOSMipsy(1, 150, true)
+	prog := apps.FFT(apps.FFTOpts{LogN: 12, Procs: 1, TLBBlocked: true, Prefetch: true})
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf, trace.Meta{Workload: prog.FullName(), Threads: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := machine.RunCapture(cfg, prog, tw); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.Decode(buf.Bytes())
+	if err != nil {
+		b.Fatal(err)
+	}
+	img, err := machine.PrepareReplay(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Sampling = sched
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res machine.Result
+	for i := 0; i < b.N; i++ {
+		res, err = machine.RunReplay(cfg, img)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Instructions), "sim-instrs/op")
+	b.ReportMetric(100*float64(res.Sampling.DetailedInstrs)/float64(res.Instructions), "detailed-%")
 }
 
 // benchRun measures one quick FFT machine run and reports simulated

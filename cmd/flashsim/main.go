@@ -29,7 +29,6 @@ import (
 	"flashsim/internal/hw"
 	"flashsim/internal/machine"
 	"flashsim/internal/proto"
-	"flashsim/internal/runner"
 	"flashsim/internal/sim"
 )
 
@@ -115,43 +114,22 @@ func main() {
 		log.Fatalf("unknown workload %q", *app)
 	}
 
-	if cf.TraceOut != "" && cf.TraceIn != "" {
-		log.Fatal("-trace-out and -trace-in are mutually exclusive (capture or replay, not both)")
-	}
-
 	pool, store, err := cf.Pool()
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	t0 := time.Now()
-	var res machine.Result
-	switch {
-	case cf.TraceOut != "":
-		// Capture runs execution-driven outside the pool: a memoized
-		// result replays no instructions and can never fill a trace.
-		res, err = cliutil.CaptureRun(cf.TraceOut, cfg, prog, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
+	out, err := cf.ExecuteRun(context.Background(), pool, cfg, prog, nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := out.Result
+	switch out.Mode {
+	case cliutil.ModeCapture:
 		fmt.Printf("[captured trace: %s]\n", cf.TraceOut)
-	case cf.TraceIn != "":
-		img, err := cliutil.LoadReplay(cf.TraceIn)
-		if err != nil {
-			log.Fatal(err)
-		}
-		results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Replay: img}})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res = results[0]
-		fmt.Printf("[trace-driven: replayed %s (%d instructions)]\n", img.Workload(), img.Instructions())
-	default:
-		results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Prog: prog}})
-		if err != nil {
-			log.Fatal(err)
-		}
-		res = results[0]
+	case cliutil.ModeReplay:
+		fmt.Printf("[trace-driven: replayed %s (%d instructions)]\n", out.Image.Workload(), out.Image.Instructions())
 	}
 	wall := time.Since(t0)
 	if st := pool.Stats(); st.CacheHits > 0 {
@@ -168,6 +146,11 @@ func main() {
 	fmt.Printf("  L2 miss rate:     %.2f%%\n", 100*res.L2MissRate())
 	fmt.Printf("  TLB misses:       %d\n", res.TLBMisses)
 	fmt.Printf("  pages mapped:     %d\n", res.PagesMapped)
+	if res.Sampled {
+		s := res.Sampling
+		fmt.Printf("  sampling:         %d windows; %d detailed + %d functional instrs (%d warmup, %d warm touches)\n",
+			s.Windows, s.DetailedInstrs, s.FunctionalInstrs, s.WarmupInstrs, s.WarmTouches)
+	}
 	fmt.Printf("  protocol cases:\n")
 	for c := proto.Case(0); c < proto.NumCases; c++ {
 		if res.CaseCounts[c] > 0 {

@@ -231,11 +231,15 @@ func capture(args []string) error {
 	if path == "" {
 		path = *w.app + ".fltr"
 	}
+	// Route through the shared run-mode dispatch (the capture branch of
+	// ExecuteRun is exactly this subcommand's job).
+	cf.TraceOut = path
 	t0 := time.Now()
-	res, err := cliutil.CaptureRun(path, cfg, prog, source)
+	ro, err := cf.ExecuteRun(context.Background(), nil, cfg, prog, source, nil)
 	if err != nil {
 		return err
 	}
+	res := ro.Result
 	st, _ := os.Stat(path)
 	fmt.Printf("captured %s (%d instructions, %.3f ms simulated) in %v\n",
 		prog.FullName(), res.Instructions, res.ExecSeconds()*1e3, time.Since(t0).Round(time.Millisecond))
@@ -332,11 +336,11 @@ func replay(args []string) error {
 		return err
 	}
 	t0 := time.Now()
-	results, err := pool.Run(context.Background(), []runner.Job{{Config: cfg, Replay: img}})
+	ro, err := cf.ExecuteRun(context.Background(), pool, cfg, emitter.Program{}, nil, img)
 	if err != nil {
 		return err
 	}
-	res := results[0]
+	res := ro.Result
 	wall := time.Since(t0)
 	fmt.Printf("%s (trace-driven) on %s, %d processor(s)\n", img.Workload(), cfg.Name, procs)
 	fmt.Printf("  parallel section: %.3f ms simulated\n", res.ExecSeconds()*1e3)
@@ -346,6 +350,11 @@ func replay(args []string) error {
 	fmt.Printf("  instructions:     %d\n", res.Instructions)
 	fmt.Printf("  L2 miss rate:     %.2f%%\n", 100*res.L2MissRate())
 	fmt.Printf("  TLB misses:       %d\n", res.TLBMisses)
+	if res.Sampled {
+		s := res.Sampling
+		fmt.Printf("  sampling:         %d windows; %d detailed + %d functional instrs\n",
+			s.Windows, s.DetailedInstrs, s.FunctionalInstrs)
+	}
 	return nil
 }
 

@@ -7,7 +7,7 @@
 //	validate -all            # every table, figure, and experiment
 //	validate -table 3        # one table
 //	validate -figure 2       # one figure
-//	validate -experiment tlb # tlb | blocking | muldiv | defects | trace
+//	validate -experiment tlb # tlb | blocking | muldiv | defects | trace | sampling
 //	validate -quick          # reduced problem sizes
 //	validate -all -jobs 8 -cache-dir .flashcache
 //	validate -experiment tlb -set os.tlb.handler_cycles=65   # the X1 fix as an override
@@ -31,7 +31,7 @@ func main() {
 		all        = flag.Bool("all", false, "run every table, figure, and experiment")
 		table      = flag.Int("table", 0, "render table 1, 2, or 3")
 		figure     = flag.Int("figure", 0, "run figure 1-4")
-		experiment = flag.String("experiment", "", "run an in-text experiment: tlb, blocking, muldiv, defects, trace")
+		experiment = flag.String("experiment", "", "run an in-text experiment: tlb, blocking, muldiv, defects, trace, sampling")
 		quick      = flag.Bool("quick", false, "use reduced problem sizes")
 		tuning     = flag.Bool("tuning", false, "print each simulator's calibration as a registry diff")
 		cf         = cliutil.Register()
@@ -118,6 +118,9 @@ func main() {
 	}
 	if *all || *experiment == "trace" {
 		timed("experiment trace", func() (string, error) { _, t, err := s.ExperimentTraceReplay(4); return t, err })
+	}
+	if *all || *experiment == "sampling" {
+		timed("experiment sampling", func() (string, error) { _, t, err := s.ExperimentSampling(2, 4); return t, err })
 	}
 	if !ran {
 		flag.Usage()

@@ -38,6 +38,8 @@ const (
 	metricsOutUsage = "write the aggregated per-run metrics report (obs.Report JSON) to this file on exit"
 	traceOutUsage   = "capture the run's instruction streams into this trace container (execution-driven run, bypasses the memo store)"
 	traceInUsage    = "replay a previously captured trace container instead of executing the workload (trace-driven run)"
+	sampleUsage     = "enable sampled simulation: 'on' for the default schedule, or period:window:warmup[:phase] instruction counts"
+	sampleColdUsage = "sampled fast-forward leaves cache/TLB/directory state cold instead of warming it (requires -sample)"
 )
 
 // Flags carries the shared flag values after flag.Parse.
@@ -53,6 +55,8 @@ type Flags struct {
 	MetricsOut string
 	TraceOut   string
 	TraceIn    string
+	Sample     string
+	SampleCold bool
 
 	sets     stringList
 	settings []param.Setting
@@ -94,6 +98,8 @@ func RegisterOn(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.MetricsOut, "metrics-out", "", metricsOutUsage)
 	fs.StringVar(&f.TraceOut, "trace-out", "", traceOutUsage)
 	fs.StringVar(&f.TraceIn, "trace-in", "", traceInUsage)
+	fs.StringVar(&f.Sample, "sample", "", sampleUsage)
+	fs.BoolVar(&f.SampleCold, "sample-cold", false, sampleColdUsage)
 	return f
 }
 
@@ -122,6 +128,15 @@ func (f *Flags) Finish() error {
 		f.snapshot = &snap
 	}
 	f.settings = f.settings[:0]
+	// -sample translates to sampling.* parameter settings before the
+	// explicit -set overrides, so the schedule flows through Apply into
+	// every config the command builds — and therefore into run
+	// fingerprints — while a -set sampling.x=y still wins.
+	sampleSets, err := f.sampleSettings()
+	if err != nil {
+		return err
+	}
+	f.settings = append(f.settings, sampleSets...)
 	for _, raw := range f.sets {
 		s, err := param.ParseSetting(raw)
 		if err != nil {

@@ -1,0 +1,126 @@
+package cliutil
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+	"flashsim/internal/param"
+	"flashsim/internal/runner"
+)
+
+// sampleSettings translates -sample/-sample-cold into sampling.*
+// parameter settings. "on" (or "default") selects the default
+// schedule; otherwise the spec is period:window:warmup[:phase] in
+// instruction counts. Returned settings are validated against the
+// registry like any -set.
+func (f *Flags) sampleSettings() ([]param.Setting, error) {
+	if f.Sample == "" {
+		if f.SampleCold {
+			return nil, fmt.Errorf("-sample-cold requires -sample")
+		}
+		return nil, nil
+	}
+	sc := machine.DefaultSampling()
+	if f.Sample != "on" && f.Sample != "default" {
+		parts := strings.Split(f.Sample, ":")
+		if len(parts) < 3 || len(parts) > 4 {
+			return nil, fmt.Errorf("-sample: want 'on' or period:window:warmup[:phase], got %q", f.Sample)
+		}
+		fields := []*uint64{&sc.Period, &sc.Window, &sc.Warmup, &sc.Phase}
+		for i, p := range parts {
+			v, err := strconv.ParseUint(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-sample: field %d of %q: %w", i+1, f.Sample, err)
+			}
+			*fields[i] = v
+		}
+	}
+	sc.ColdState = f.SampleCold
+	raw := []string{
+		"sampling.enabled=true",
+		fmt.Sprintf("sampling.period_instrs=%d", sc.Period),
+		fmt.Sprintf("sampling.window_instrs=%d", sc.Window),
+		fmt.Sprintf("sampling.warmup_instrs=%d", sc.Warmup),
+		fmt.Sprintf("sampling.phase_instrs=%d", sc.Phase),
+		fmt.Sprintf("sampling.cold_state=%t", sc.ColdState),
+	}
+	out := make([]param.Setting, 0, len(raw))
+	for _, r := range raw {
+		s, err := param.ParseSetting(r)
+		if err != nil {
+			return nil, fmt.Errorf("-sample: %w", err)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("-sample: %w", err)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RunMode names which execution mode the shared dispatch selected.
+type RunMode int
+
+const (
+	// ModeExecute is an execution-driven run through the pool.
+	ModeExecute RunMode = iota
+	// ModeCapture is an execution-driven run with a trace tap; it
+	// bypasses the pool because a memoized result emits no instructions
+	// and can never fill a trace.
+	ModeCapture
+	// ModeReplay is a trace-driven run of a loaded container.
+	ModeReplay
+)
+
+// RunOutcome is ExecuteRun's result: the machine Result plus which
+// mode produced it (and, under ModeReplay, the image that was run).
+type RunOutcome struct {
+	Result machine.Result
+	Mode   RunMode
+	// Image is the replayed container under ModeReplay.
+	Image *machine.ReplayImage
+}
+
+// ExecuteRun dispatches one run across the three execution modes the
+// shared trace flags select — the run-mode logic every single-run
+// front end (flashsim, flashtrace) shares instead of reimplementing:
+//
+//   - -trace-out captures prog execution-driven into the container
+//   - -trace-in (or a preloaded img) replays a container trace-driven
+//   - otherwise prog executes through the pool
+//
+// img, when non-nil, is a container the caller already loaded (e.g.
+// to size the machine from the trace's thread count); it forces
+// ModeReplay without re-decoding.
+func (f *Flags) ExecuteRun(ctx context.Context, pool *runner.Pool, cfg machine.Config, prog emitter.Program, source json.RawMessage, img *machine.ReplayImage) (RunOutcome, error) {
+	if f.TraceOut != "" && (f.TraceIn != "" || img != nil) {
+		return RunOutcome{}, fmt.Errorf("-trace-out and -trace-in are mutually exclusive (capture or replay, not both)")
+	}
+	if f.TraceOut != "" {
+		res, err := CaptureRun(f.TraceOut, cfg, prog, source)
+		return RunOutcome{Result: res, Mode: ModeCapture}, err
+	}
+	if img == nil && f.TraceIn != "" {
+		var err error
+		if img, err = LoadReplay(f.TraceIn); err != nil {
+			return RunOutcome{Mode: ModeReplay}, err
+		}
+	}
+	if img != nil {
+		results, err := pool.Run(ctx, []runner.Job{{Config: cfg, Replay: img}})
+		if err != nil {
+			return RunOutcome{Mode: ModeReplay}, err
+		}
+		return RunOutcome{Result: results[0], Mode: ModeReplay, Image: img}, nil
+	}
+	results, err := pool.Run(ctx, []runner.Job{{Config: cfg, Prog: prog}})
+	if err != nil {
+		return RunOutcome{}, err
+	}
+	return RunOutcome{Result: results[0]}, nil
+}

@@ -1,0 +1,67 @@
+package cliutil_test
+
+import (
+	"testing"
+
+	"flashsim/internal/machine"
+)
+
+func TestSampleFlagDefaultsSchedule(t *testing.T) {
+	f, err := parse(t, "-sample", "on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.Apply(machine.Base(4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := machine.DefaultSampling()
+	if cfg.Sampling != want {
+		t.Errorf("-sample on applied %+v, want %+v", cfg.Sampling, want)
+	}
+}
+
+func TestSampleFlagSpecAndCold(t *testing.T) {
+	f, err := parse(t, "-sample", "10000:1000:200:50", "-sample-cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.Apply(machine.Base(4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := machine.SamplingConfig{
+		Enabled: true, Period: 10000, Window: 1000, Warmup: 200, Phase: 50, ColdState: true,
+	}
+	if cfg.Sampling != want {
+		t.Errorf("spec applied %+v, want %+v", cfg.Sampling, want)
+	}
+}
+
+func TestSampleFlagComposesWithSet(t *testing.T) {
+	// An explicit -set wins over the -sample shorthand.
+	f, err := parse(t, "-sample", "on", "-set", "sampling.window_instrs=777")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.Apply(machine.Base(4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Sampling.Enabled || cfg.Sampling.Window != 777 {
+		t.Errorf("-set must win over -sample: %+v", cfg.Sampling)
+	}
+}
+
+func TestSampleFlagRejectsBadSpecs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-sample", "10000"},     // too few fields
+		{"-sample", "1:2:3:4:5"}, // too many fields
+		{"-sample", "a:b:c"},     // not numbers
+		{"-sample-cold"},         // cold without a schedule
+	} {
+		if _, err := parse(t, args...); err == nil {
+			t.Errorf("%v should fail Finish", args)
+		}
+	}
+}

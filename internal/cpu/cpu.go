@@ -56,6 +56,17 @@ type Port interface {
 	SyscallCost(aux uint32) uint32
 }
 
+// Stream is a per-thread instruction source a processor model
+// consumes. It is the seam between instruction delivery and timing:
+// a live emitter reader, a decoded trace cursor, and the sampling
+// engine's window gate all satisfy it, so one core construction path
+// serves every execution mode.
+type Stream interface {
+	// Next returns the next instruction, or ok=false when the stream
+	// is exhausted (or, for a gated stream, closed for now).
+	Next() (isa.Instr, bool)
+}
+
 // OutcomeKind says why a processor yielded.
 type OutcomeKind uint8
 

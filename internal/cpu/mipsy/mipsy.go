@@ -19,7 +19,6 @@ package mipsy
 
 import (
 	"flashsim/internal/cpu"
-	"flashsim/internal/emitter"
 	"flashsim/internal/isa"
 	"flashsim/internal/sim"
 )
@@ -42,7 +41,7 @@ type Config struct {
 // CPU is one Mipsy core.
 type CPU struct {
 	cfg    Config
-	rd     *emitter.Reader
+	rd     cpu.Stream
 	port   cpu.Port
 	lat    isa.LatencyTable
 	stats  cpu.Stats
@@ -50,7 +49,7 @@ type CPU struct {
 }
 
 // New binds a Mipsy core to an instruction stream and a memory port.
-func New(cfg Config, rd *emitter.Reader, port cpu.Port) *CPU {
+func New(cfg Config, rd cpu.Stream, port cpu.Port) *CPU {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 200
 	}

@@ -32,7 +32,6 @@ package mxs
 
 import (
 	"flashsim/internal/cpu"
-	"flashsim/internal/emitter"
 	"flashsim/internal/isa"
 	"flashsim/internal/sim"
 )
@@ -106,7 +105,7 @@ const histSize = 4096 // completion-time history ring (power of two)
 // CPU is one MXS core.
 type CPU struct {
 	cfg  Config
-	rd   *emitter.Reader
+	rd   cpu.Stream
 	port cpu.Port
 
 	n          uint64 // absolute instruction index
@@ -124,7 +123,7 @@ type CPU struct {
 }
 
 // New binds an MXS core to an instruction stream and memory port.
-func New(cfg Config, rd *emitter.Reader, port cpu.Port) *CPU {
+func New(cfg Config, rd cpu.Stream, port cpu.Port) *CPU {
 	if cfg.Quantum <= 0 {
 		cfg.Quantum = 200
 	}

@@ -98,6 +98,11 @@ type Config struct {
 	// MXS carries the out-of-order fidelity knobs and historical bugs.
 	MXS mxs.Fidelity
 
+	// Sampling configures sampled simulation: functional fast-forward
+	// alternating with detailed windows on an instruction-count
+	// schedule. The zero value (disabled) is full detail.
+	Sampling SamplingConfig
+
 	// JitterPct adds seeded run-to-run noise to the final time (the
 	// hardware reference uses ~0.5%; simulators use 0).
 	JitterPct float64
@@ -114,10 +119,81 @@ type Config struct {
 	CheckCoherence bool
 }
 
+// SamplingConfig parameterizes sampled simulation. When Enabled, each
+// node's instruction stream is split into repeating periods of Period
+// instructions: the first Window instructions of each period execute
+// on the detailed core model, the rest fast-forward functionally at a
+// flat one cycle per instruction with no core or memory timing. Phase
+// shifts the first window into the stream (Phase functional
+// instructions run before detailed execution starts), which lets
+// repeated runs sample different program regions deterministically.
+//
+// Warmup marks the leading instructions of every detailed window as
+// state-settling time: they execute at full detail (warming MSHRs,
+// write buffers, and in-flight timing state) but are accounted
+// separately in Result.Sampling so error analysis can distinguish
+// settled measurement from warmup.
+//
+// ColdState selects the cold-warmup variant: when false (the default
+// policy), functional fast-forward still performs every translation,
+// cache access, and directory transition — so TLBs, both cache levels,
+// and the directory stay warm across skipped regions — and only the
+// timing is elided. When true, fast-forwarded instructions touch no
+// machine state at all, and each detailed window starts against
+// whatever state the previous window left: the measurable cost of cold
+// warmup, one of the error sources the sampling experiment reports.
+type SamplingConfig struct {
+	Enabled bool
+	// Period is the schedule's cycle length in instructions.
+	Period uint64
+	// Window is the detailed-instruction count per period (includes
+	// Warmup). Must satisfy 0 < Window <= Period.
+	Window uint64
+	// Warmup is the leading portion of each window accounted as
+	// warmup. Must satisfy Warmup <= Window.
+	Warmup uint64
+	// Phase is the functional-instruction offset of the first window.
+	Phase uint64
+	// ColdState disables state warming during fast-forward.
+	ColdState bool
+}
+
+// DefaultSampling returns the default sampled-simulation schedule:
+// 2k-instruction detailed windows (the leading quarter warmup) every
+// 20k instructions, warm-state fast-forward.
+func DefaultSampling() SamplingConfig {
+	return SamplingConfig{
+		Enabled: true,
+		Period:  20_000,
+		Window:  2_000,
+		Warmup:  500,
+	}
+}
+
+// validate checks the sampling schedule.
+func (s SamplingConfig) validate(name string) error {
+	if !s.Enabled {
+		return nil
+	}
+	if s.Period == 0 {
+		return fmt.Errorf("machine %q: sampling period must be positive", name)
+	}
+	if s.Window == 0 || s.Window > s.Period {
+		return fmt.Errorf("machine %q: sampling window %d outside (0, period %d]", name, s.Window, s.Period)
+	}
+	if s.Warmup > s.Window {
+		return fmt.Errorf("machine %q: sampling warmup %d exceeds window %d", name, s.Warmup, s.Window)
+	}
+	return nil
+}
+
 // Validate checks the configuration.
 func (c Config) Validate() error {
 	if c.Procs <= 0 {
 		return fmt.Errorf("machine %q: Procs must be positive", c.Name)
+	}
+	if err := c.Sampling.validate(c.Name); err != nil {
+		return err
 	}
 	if c.ClockMHz <= 0 || 900%c.ClockMHz != 0 {
 		return fmt.Errorf("machine %q: clock %d MHz does not divide 900", c.Name, c.ClockMHz)

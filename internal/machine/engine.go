@@ -1,0 +1,204 @@
+package machine
+
+import (
+	"fmt"
+
+	"flashsim/internal/cpu"
+	"flashsim/internal/cpu/mipsy"
+	"flashsim/internal/cpu/mxs"
+	"flashsim/internal/emitter"
+	"flashsim/internal/obs"
+	"flashsim/internal/sim"
+	"flashsim/internal/trace"
+)
+
+// Driver supplies the instruction side of one machine run: an address
+// space, one instruction stream per node, and per-node core
+// construction over those streams. It is the execution-engine seam —
+// the execution-driven emitter, trace replay, and trace capture are
+// all drivers over the same machine, and the sampling Schedule can
+// interpose its window gate between any driver's streams and its
+// cores.
+//
+// Lifecycle: RunWith calls Space/Threads/Workload for validation,
+// Stream and NewCore once per node during build, drives the event loop
+// to quiescence, and then calls Finish exactly once — with ok=false on
+// any failure path — so drivers can release producer goroutines and
+// seal artifacts.
+type Driver interface {
+	// Workload names the instruction source ("fft/p4", a trace's
+	// recorded workload) for results and metrics.
+	Workload() string
+	// Threads is the number of per-node streams the driver supplies;
+	// it must equal the machine's processor count.
+	Threads() int
+	// Space is the program's address space (the page-table layout).
+	Space() *emitter.AddressSpace
+	// Stream returns node i's instruction source.
+	Stream(i int) cpu.Stream
+	// NewCore builds node i's processor over src. src is normally the
+	// driver's own Stream(i); under a sampling schedule it is that
+	// stream wrapped in a window gate, and drivers with a specialized
+	// fast path (trace replay's collapsed-action core) must fall back
+	// to a stream-consuming core when src is not their own.
+	NewCore(i int, clock sim.Clock, src cpu.Stream, port cpu.Port) cpu.CPU
+	// Finish releases the driver's resources and returns the
+	// instruction-stream accounting folded into Result.Metrics. ok
+	// reports whether the run drained cleanly; the error returned on
+	// ok=true failures (stream errors, artifact sealing) fails the run.
+	Finish(ok bool) (obs.EmitterCounters, error)
+}
+
+// RunWith executes one run of cfg with the supplied driver: the single
+// engine entry point behind Run, RunCapture, and RunReplay. Each call
+// builds a fresh machine; state never leaks between runs.
+func RunWith(cfg Config, d Driver) (Result, error) {
+	fail := func(err error) (Result, error) {
+		d.Finish(false)
+		return Result{}, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return fail(err)
+	}
+	if d.Threads() != cfg.Procs {
+		return fail(fmt.Errorf("machine %q: %s supplies %d instruction streams but machine has %d processors",
+			cfg.Name, d.Workload(), d.Threads(), cfg.Procs))
+	}
+	sched := cfg.Sampling.Schedule()
+
+	m := build(cfg, d.Space(), func(i int, clock sim.Clock, p *memPort) cpu.CPU {
+		src := d.Stream(i)
+		if !sched.Enabled() {
+			return d.NewCore(i, clock, src, p)
+		}
+		gate := &windowGate{src: src}
+		inner := d.NewCore(i, clock, gate, p)
+		return newSampledCPU(sched, clock, inner, gate, src, p)
+	})
+	m.drive()
+
+	ok := m.runErr == nil && m.finished == cfg.Procs
+	em, err := d.Finish(ok)
+	if err != nil {
+		return Result{}, fmt.Errorf("machine %q: %w", cfg.Name, err)
+	}
+	if m.runErr != nil {
+		return Result{}, m.runErr
+	}
+	if m.finished != cfg.Procs {
+		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
+			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
+	}
+	res := m.collect(em)
+	res.Metrics.Workload = d.Workload()
+	return res, nil
+}
+
+// execDriver is the execution-driven driver: a launched program whose
+// per-thread emitter goroutines feed the streams.
+type execDriver struct {
+	cfg     Config
+	name    string
+	space   *emitter.AddressSpace
+	streams *emitter.Streams
+}
+
+// NewExecutionDriver launches prog's emitter threads and returns the
+// execution-driven driver over them. The driver owns the producer
+// goroutines; RunWith's Finish call releases them on every path.
+func NewExecutionDriver(cfg Config, prog emitter.Program) Driver {
+	space, streams := prog.Launch()
+	return &execDriver{cfg: cfg, name: prog.FullName(), space: space, streams: streams}
+}
+
+func (d *execDriver) Workload() string             { return d.name }
+func (d *execDriver) Threads() int                 { return len(d.streams.Readers) }
+func (d *execDriver) Space() *emitter.AddressSpace { return d.space }
+func (d *execDriver) Stream(i int) cpu.Stream      { return d.streams.Readers[i] }
+
+// NewCore builds the configured processor model — the one construction
+// path shared by plain runs, captures, and (via mipsy over an expanded
+// stream) sampled replays.
+func (d *execDriver) NewCore(i int, clock sim.Clock, src cpu.Stream, port cpu.Port) cpu.CPU {
+	return newConfiguredCore(d.cfg, i, clock, src, port)
+}
+
+func (d *execDriver) Finish(ok bool) (obs.EmitterCounters, error) {
+	if !ok {
+		d.streams.Abort()
+		// Surface a workload panic over the machine's own failure: the
+		// stream dying is usually why the run did not drain.
+		return obs.EmitterCounters{}, d.streams.Err()
+	}
+	if err := d.streams.Err(); err != nil {
+		d.streams.Abort()
+		return obs.EmitterCounters{}, err
+	}
+	em := d.streams.Counters()
+	d.streams.Abort()
+	return em, nil
+}
+
+// newConfiguredCore constructs the processor model cfg selects. Every
+// execution mode funnels through here, so fidelity knobs (latencies,
+// MXS bugs, per-core seeds) behave identically regardless of where the
+// instructions come from.
+func newConfiguredCore(cfg Config, i int, clock sim.Clock, src cpu.Stream, port cpu.Port) cpu.CPU {
+	switch cfg.CPU {
+	case CPUMXS:
+		mc := mxs.DefaultConfig(clock)
+		mc.Fidelity = cfg.MXS
+		mc.Quantum = cfg.Quantum
+		mc.Seed = cfg.Seed + uint64(i)*0x9E37
+		return mxs.New(mc, src, port)
+	default:
+		return mipsy.New(mipsy.Config{
+			Clock:             clock,
+			ModelInstrLatency: cfg.ModelInstrLatency,
+			Quantum:           cfg.Quantum,
+		}, src, port)
+	}
+}
+
+// captureDriver decorates an execution driver with a trace writer: the
+// program launches with the writer's tap installed, and Finish seals
+// the container once every producer has flushed through it. Capture is
+// a decoration, not a separate entry point — the machine underneath is
+// byte-identical to an untapped run.
+type captureDriver struct {
+	*execDriver
+	tw *trace.Writer
+}
+
+// NewCaptureDriver launches prog with every emitted batch mirrored
+// into tw and returns the capturing driver.
+func NewCaptureDriver(cfg Config, prog emitter.Program, tw *trace.Writer) (Driver, error) {
+	if tw == nil {
+		return nil, fmt.Errorf("machine %q: capture needs a trace writer", cfg.Name)
+	}
+	if tw.Threads() != prog.Threads {
+		return nil, fmt.Errorf("machine %q: trace writer expects %d threads, program %s has %d",
+			cfg.Name, tw.Threads(), prog.FullName(), prog.Threads)
+	}
+	prog.Tap = tw.Tap
+	return &captureDriver{
+		execDriver: NewExecutionDriver(cfg, prog).(*execDriver),
+		tw:         tw,
+	}, nil
+}
+
+func (d *captureDriver) Finish(ok bool) (obs.EmitterCounters, error) {
+	em, err := d.execDriver.Finish(ok)
+	if !ok || err != nil {
+		return em, err
+	}
+	// Every reader drained (all cores finished), so every producer has
+	// flushed through the tap; Wait pins the goroutine exits before the
+	// container is sealed.
+	d.streams.Wait()
+	d.tw.SetLayout(d.space)
+	if err := d.tw.Finish(); err != nil {
+		return em, fmt.Errorf("sealing trace: %w", err)
+	}
+	return em, nil
+}

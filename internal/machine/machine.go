@@ -5,14 +5,11 @@ import (
 
 	"flashsim/internal/cache"
 	"flashsim/internal/cpu"
-	"flashsim/internal/cpu/mipsy"
-	"flashsim/internal/cpu/mxs"
 	"flashsim/internal/emitter"
 	"flashsim/internal/isa"
 	"flashsim/internal/memsys"
 	"flashsim/internal/osmodel"
 	"flashsim/internal/sim"
-	"flashsim/internal/trace"
 	"flashsim/internal/vm"
 )
 
@@ -65,71 +62,11 @@ type lockWaiter struct {
 // result. Each call builds a fresh machine; state never leaks between
 // runs.
 func Run(cfg Config, prog emitter.Program) (Result, error) {
-	return runProgram(cfg, prog, nil)
-}
-
-// runProgram is the shared execution-driven path behind Run and
-// RunCapture; tw, when non-nil, receives every flushed batch and is
-// sealed once the run drains.
-func runProgram(cfg Config, prog emitter.Program, tw *trace.Writer) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
 	if prog.Threads != cfg.Procs {
 		return Result{}, fmt.Errorf("machine %q: program %s has %d threads but machine has %d processors",
 			cfg.Name, prog.FullName(), prog.Threads, cfg.Procs)
 	}
-	if tw != nil {
-		if tw.Threads() != prog.Threads {
-			return Result{}, fmt.Errorf("machine %q: trace writer expects %d threads, program %s has %d",
-				cfg.Name, tw.Threads(), prog.FullName(), prog.Threads)
-		}
-		prog.Tap = tw.Tap
-	}
-
-	space, streams := prog.Launch()
-	defer streams.Abort()
-
-	m := build(cfg, space, func(i int, clock sim.Clock, p *memPort) cpu.CPU {
-		switch cfg.CPU {
-		case CPUMXS:
-			mc := mxs.DefaultConfig(clock)
-			mc.Fidelity = cfg.MXS
-			mc.Quantum = cfg.Quantum
-			mc.Seed = cfg.Seed + uint64(i)*0x9E37
-			return mxs.New(mc, streams.Readers[i], p)
-		default:
-			return mipsy.New(mipsy.Config{
-				Clock:             clock,
-				ModelInstrLatency: cfg.ModelInstrLatency,
-				Quantum:           cfg.Quantum,
-			}, streams.Readers[i], p)
-		}
-	})
-	m.drive()
-
-	if err := streams.Err(); err != nil {
-		return Result{}, fmt.Errorf("machine %q: %w", cfg.Name, err)
-	}
-	if m.runErr != nil {
-		return Result{}, m.runErr
-	}
-	if m.finished != cfg.Procs {
-		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
-			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
-	}
-	res := m.collect(streams.Counters())
-	res.Metrics.Workload = prog.FullName()
-	if tw != nil {
-		// Every reader drained (all cores finished), so every producer
-		// has flushed through the tap; Wait pins the goroutine exits.
-		streams.Wait()
-		tw.SetLayout(space)
-		if err := tw.Finish(); err != nil {
-			return Result{}, fmt.Errorf("machine %q: sealing trace: %w", cfg.Name, err)
-		}
-	}
-	return res, nil
+	return RunWith(cfg, NewExecutionDriver(cfg, prog))
 }
 
 // build assembles a machine around an address space, deferring only

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"flashsim/internal/cpu"
+	"flashsim/internal/cpu/mipsy"
 	"flashsim/internal/emitter"
 	"flashsim/internal/isa"
 	"flashsim/internal/obs"
@@ -14,12 +15,19 @@ import (
 // RunCapture executes prog exactly like Run while mirroring every
 // emitted batch into tw, sealing the container when the run drains.
 // The capture adds no timing perturbation: the emitted streams and the
-// simulated result are byte-identical to an untapped Run.
+// simulated result are byte-identical to an untapped Run. It is the
+// capture driver decoration over the execution engine, not a separate
+// run loop.
 func RunCapture(cfg Config, prog emitter.Program, tw *trace.Writer) (Result, error) {
-	if tw == nil {
-		return Result{}, fmt.Errorf("machine %q: RunCapture needs a trace writer", cfg.Name)
+	if prog.Threads != cfg.Procs {
+		return Result{}, fmt.Errorf("machine %q: program %s has %d threads but machine has %d processors",
+			cfg.Name, prog.FullName(), prog.Threads, cfg.Procs)
 	}
-	return runProgram(cfg, prog, tw)
+	d, err := NewCaptureDriver(cfg, prog, tw)
+	if err != nil {
+		return Result{}, err
+	}
+	return RunWith(cfg, d)
 }
 
 // replayAction is one memory, sync, or syscall instruction preceded by
@@ -115,35 +123,130 @@ func (img *ReplayImage) Instructions() uint64 { return img.instrs }
 // deliberately keeps its flat-CPI core: the difference IS the error
 // trace-driven simulation introduces, which the trace experiment
 // reports as taxonomy rows.
+//
+// When cfg.Sampling is enabled the image doubles as the fast-forward
+// stream: the sampling engine gates the expanded trace through a
+// classic-Mipsy detailed core inside windows and fast-forwards
+// functionally between them.
 func RunReplay(cfg Config, img *ReplayImage) (Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+	return RunWith(cfg, NewReplayDriver(cfg, img))
+}
+
+// replayDriver drives a machine from a prepared trace image.
+type replayDriver struct {
+	cfg Config
+	img *ReplayImage
+}
+
+// NewReplayDriver returns the trace-driven driver over img.
+func NewReplayDriver(cfg Config, img *ReplayImage) Driver {
+	return &replayDriver{cfg: cfg, img: img}
+}
+
+func (d *replayDriver) Workload() string             { return d.img.workload }
+func (d *replayDriver) Threads() int                 { return d.img.threads }
+func (d *replayDriver) Space() *emitter.AddressSpace { return d.img.space }
+
+func (d *replayDriver) Stream(i int) cpu.Stream {
+	return newReplayStream(d.img, i)
+}
+
+// NewCore keeps the collapsed-action fast path when it is handed its
+// own raw stream (the plain replay mode, bit-identical to Mipsy) and
+// falls back to a classic-Mipsy core over the expanded stream when the
+// stream has been wrapped — which is exactly the sampled case, where
+// the gate must see every instruction to count window boundaries.
+func (d *replayDriver) NewCore(i int, clock sim.Clock, src cpu.Stream, port cpu.Port) cpu.CPU {
+	if rs, ok := src.(*replayStream); ok && rs.img == d.img {
+		return newReplayCPU(clock, d.cfg.Quantum, d.img.actions[i], d.img.tails[i], port)
 	}
-	if img.threads != cfg.Procs {
-		return Result{}, fmt.Errorf("machine %q: trace of %s has %d threads but machine has %d processors",
-			cfg.Name, img.workload, img.threads, cfg.Procs)
-	}
-	m := build(cfg, img.space, func(i int, clock sim.Clock, p *memPort) cpu.CPU {
-		return newReplayCPU(clock, cfg.Quantum, img.actions[i], img.tails[i], p)
-	})
-	m.drive()
-	if m.runErr != nil {
-		return Result{}, m.runErr
-	}
-	if m.finished != cfg.Procs {
-		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
-			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
-	}
+	return mipsy.New(mipsy.Config{Clock: clock, Quantum: d.cfg.Quantum}, src, port)
+}
+
+func (d *replayDriver) Finish(bool) (obs.EmitterCounters, error) {
 	// The recorded stream accounting stands in for the live emitter
 	// counters. Slab reuses equal batches in a machine-fed run (every
 	// consumed buffer is recycled), so the metrics match bit for bit.
-	res := m.collect(obs.EmitterCounters{
-		Batches:      img.batches,
-		Instructions: img.instrs,
-		SlabReuses:   img.batches,
-	})
-	res.Metrics.Workload = img.workload
-	return res, nil
+	return obs.EmitterCounters{
+		Batches:      d.img.batches,
+		Instructions: d.img.instrs,
+		SlabReuses:   d.img.batches,
+	}, nil
+}
+
+// replayStream expands a thread's collapsed action list back into an
+// instruction-by-instruction stream: each action's skipped compute run
+// re-emits as unit-latency ALU instructions. Under the flat-CPI replay
+// core this is timing-equivalent to the collapsed form; it exists so
+// the sampling gate (and any other stream wrapper) can meter replayed
+// instructions exactly like live ones.
+type replayStream struct {
+	img      *ReplayImage
+	acts     []replayAction
+	tail     uint64
+	pos      int
+	fill     uint64 // compute instructions remaining before acts[pos]
+	tailDone bool
+}
+
+func newReplayStream(img *ReplayImage, i int) *replayStream {
+	s := &replayStream{img: img, acts: img.actions[i], tail: img.tails[i]}
+	if len(s.acts) > 0 {
+		s.fill = s.acts[0].skip
+	} else {
+		s.fill = s.tail
+		s.tailDone = true
+	}
+	return s
+}
+
+// NextRun implements the sampling engine's runSource: it drains the
+// pending collapsed compute run (up to max instructions) and the
+// action that follows it in one call. The run re-expands to
+// unit-latency IntALU fillers, so consuming it wholesale is
+// indistinguishable from the same number of Next calls — this is what
+// makes a replay image an efficient fast-forward stream.
+func (s *replayStream) NextRun(max uint64) (skip uint64, in isa.Instr, hasIn, ok bool) {
+	if s.fill > 0 {
+		skip = s.fill
+		if skip >= max {
+			skip = max
+			s.fill -= skip
+			return skip, isa.Instr{}, false, true
+		}
+		s.fill = 0
+	}
+	if s.pos < len(s.acts) {
+		in = s.acts[s.pos].in
+		s.pos++
+		if s.pos < len(s.acts) {
+			s.fill = s.acts[s.pos].skip
+		} else if !s.tailDone {
+			s.fill = s.tail
+			s.tailDone = true
+		}
+		return skip, in, true, true
+	}
+	return skip, isa.Instr{}, false, skip > 0
+}
+
+func (s *replayStream) Next() (isa.Instr, bool) {
+	if s.fill > 0 {
+		s.fill--
+		return isa.Instr{Op: isa.IntALU}, true
+	}
+	if s.pos < len(s.acts) {
+		in := s.acts[s.pos].in
+		s.pos++
+		if s.pos < len(s.acts) {
+			s.fill = s.acts[s.pos].skip
+		} else if !s.tailDone {
+			s.fill = s.tail
+			s.tailDone = true
+		}
+		return in, true
+	}
+	return isa.Instr{}, false
 }
 
 // replayCPU replays a collapsed instruction stream with Mipsy's exact

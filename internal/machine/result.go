@@ -46,6 +46,11 @@ type Result struct {
 	// BarrierReleases records the release time(s) of every barrier id.
 	BarrierReleases map[uint32][]sim.Ticks
 
+	// Sampled reports whether the run used a sampling schedule;
+	// Sampling carries its window accounting (aggregated over nodes).
+	Sampled  bool
+	Sampling SamplingStats
+
 	// Metrics is the per-run observability snapshot (internal/obs). It
 	// is part of the Result, so memoized results replay their metrics
 	// from the store exactly as a fresh run would report them.
@@ -94,6 +99,10 @@ func (m *Machine) collect(em obs.EmitterCounters) Result {
 	}
 	for i, n := range m.nodes {
 		r.PerProc[i] = n.core.Stats()
+		if sc, ok := n.core.(*sampledCPU); ok {
+			r.Sampled = true
+			r.Sampling.add(sc.sampling())
+		}
 		r.Ports[i] = n.port.stats
 		_, r.Ports[i].WBStallTicks = n.port.wb.Stalls()
 		_, r.Ports[i].MSHRStallTicks = n.port.mshr.Stalls()

@@ -15,7 +15,9 @@ import (
 // (e.g. the per-run Metrics block); the tag is hashed into every run
 // fingerprint, so stale on-disk result caches self-invalidate instead
 // of serving results computed under an old Config layout.
-const SchemaVersion = 3
+// Version 4: the sampling.* group joined the registry and Result grew
+// sampling metadata (Sampled/Sampling fields).
+const SchemaVersion = 4
 
 // Snapshot is the canonical, versioned form of a machine.Config: every
 // registered parameter by dotted path. The config's Name is a display

@@ -194,9 +194,42 @@ type ConfigSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Scaled selects the 1/16-of-paper cache geometry (default true).
 	Scaled *bool `json:"scaled,omitempty"`
+	// Sampling, when non-nil, enables sampled simulation with this
+	// schedule (the CLIs' -sample flag as a spec field).
+	Sampling *SamplingSpec `json:"sampling,omitempty"`
 	// Set is the parameter-override list, validated against the
 	// registry exactly like the CLIs' -set flags.
 	Set []param.Setting `json:"set,omitempty"`
+}
+
+// SamplingSpec is the job-spec form of a sampling schedule. Zero
+// counts inherit the default schedule, so {} requests default
+// sampling and partial specs override only what they name.
+type SamplingSpec struct {
+	PeriodInstrs uint64 `json:"period_instrs,omitempty"`
+	WindowInstrs uint64 `json:"window_instrs,omitempty"`
+	WarmupInstrs uint64 `json:"warmup_instrs,omitempty"`
+	PhaseInstrs  uint64 `json:"phase_instrs,omitempty"`
+	// ColdState leaves cache/TLB/directory state untouched during
+	// fast-forward (default: warm).
+	ColdState bool `json:"cold_state,omitempty"`
+}
+
+// schedule materializes the spec over the default schedule.
+func (s SamplingSpec) schedule() machine.SamplingConfig {
+	sc := machine.DefaultSampling()
+	if s.PeriodInstrs > 0 {
+		sc.Period = s.PeriodInstrs
+	}
+	if s.WindowInstrs > 0 {
+		sc.Window = s.WindowInstrs
+	}
+	if s.WarmupInstrs > 0 {
+		sc.Warmup = s.WarmupInstrs
+	}
+	sc.Phase = s.PhaseInstrs
+	sc.ColdState = s.ColdState
+	return sc
 }
 
 // Config materializes the spec through core's constructors and the
@@ -228,6 +261,9 @@ func (c ConfigSpec) Config() (machine.Config, error) {
 	}
 	if c.Seed != 0 {
 		cfg.Seed = c.Seed
+	}
+	if c.Sampling != nil {
+		cfg.Sampling = c.Sampling.schedule()
 	}
 	return param.ApplySettings(cfg, c.Set)
 }

@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"flashsim/internal/machine"
+)
+
+// TestConfigSpecSampling pins the spec → schedule materialization:
+// nil means unsampled, {} means the default schedule, and partial
+// specs override only the named counts.
+func TestConfigSpecSampling(t *testing.T) {
+	base := ConfigSpec{Base: "simos-mipsy", Procs: 2}
+	cfg, err := base.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sampling.Enabled {
+		t.Error("spec without sampling enabled a schedule")
+	}
+
+	base.Sampling = &SamplingSpec{}
+	cfg, err = base.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Sampling != machine.DefaultSampling() {
+		t.Errorf("empty sampling spec = %+v, want the default schedule", cfg.Sampling)
+	}
+
+	base.Sampling = &SamplingSpec{PeriodInstrs: 50000, ColdState: true}
+	cfg, err = base.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := machine.DefaultSampling()
+	want.Period = 50000
+	want.ColdState = true
+	if cfg.Sampling != want {
+		t.Errorf("partial sampling spec = %+v, want %+v", cfg.Sampling, want)
+	}
+}
+
+// TestServerSampledRun submits a sampled run and checks the result
+// carries the sampling metadata — and memoizes separately from the
+// full-detail run of the same workload.
+func TestServerSampledRun(t *testing.T) {
+	_, ts, gate := newTestServer(t, Options{})
+	close(gate)
+
+	sampledBody := []byte(`{"base":"simos-mipsy","procs":1,
+		"sampling":{"period_instrs":5000,"window_instrs":500,"warmup_instrs":100},
+		"workload":{"name":"snbench.restart","lines":64}}`)
+	resp, data := postJSON(t, ts.URL+"/v1/runs?wait=true", sampledBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sampled submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var rr RunResponse
+	if err := json.Unmarshal(data, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Job.State != StateDone {
+		t.Fatalf("job state = %s, want done", rr.Job.State)
+	}
+	if !rr.Result.Sampled {
+		t.Fatalf("sampled run result not marked Sampled: %+v", rr.Result.Sampling)
+	}
+	if rr.Result.Sampling.Windows == 0 || rr.Result.Sampling.DetailedInstrs == 0 {
+		t.Errorf("sampling accounting empty: %+v", rr.Result.Sampling)
+	}
+
+	fullBody := []byte(`{"base":"simos-mipsy","procs":1,"workload":{"name":"snbench.restart","lines":64}}`)
+	resp, data = postJSON(t, ts.URL+"/v1/runs?wait=true", fullBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var full RunResponse
+	if err := json.Unmarshal(data, &full); err != nil {
+		t.Fatal(err)
+	}
+	if full.Job.Cached || full.Result.Sampled {
+		t.Errorf("full-detail run aliased the sampled one: cached=%v sampled=%v",
+			full.Job.Cached, full.Result.Sampled)
+	}
+}
