@@ -36,8 +36,9 @@ import (
 	"flashsim/internal/trace"
 )
 
-// trajectorySchema versions the BENCH_*.json layout.
-const trajectorySchema = 1
+// trajectorySchema versions the BENCH_*.json layout. Schema 2 added
+// the per-entry Shards count (intra-run parallel execution).
+const trajectorySchema = 2
 
 // Entry is one benchmark's outcome.
 type Entry struct {
@@ -47,6 +48,10 @@ type Entry struct {
 	NsPerOp     float64
 	AllocsPerOp int64
 	BytesPerOp  int64
+	// Shards is the intra-run shard count the entry's simulations used
+	// (1 = serial). Scaling claims are only comparable between records
+	// whose CPUs/MaxProcs host metadata can actually seat the shards.
+	Shards int
 	// Extra carries b.ReportMetric values (e.g. "sim-instrs/op").
 	Extra map[string]float64 `json:",omitempty"`
 }
@@ -75,8 +80,11 @@ func (nopHandler) HandleEvent(sim.Ticks, uint64) {}
 var benchmarks = []struct {
 	name string
 	fn   func(b *testing.B)
+	// shards is the intra-run shard count recorded with the entry
+	// (0 means serial and is normalized to 1 in the record).
+	shards int
 }{
-	{"event-queue-hold", func(b *testing.B) {
+	{name: "event-queue-hold", fn: func(b *testing.B) {
 		q := sim.NewQueue()
 		var h sim.Handler = nopHandler{}
 		const pending = 64
@@ -90,7 +98,7 @@ var benchmarks = []struct {
 			q.ScheduleFn(q.Now()+pending, int32(i&3), h, uint64(i))
 		}
 	}},
-	{"event-queue-closure", func(b *testing.B) {
+	{name: "event-queue-closure", fn: func(b *testing.B) {
 		q := sim.NewQueue()
 		nop := func(sim.Ticks) {}
 		const pending = 64
@@ -104,7 +112,7 @@ var benchmarks = []struct {
 			q.Schedule(q.Now()+pending, int32(i&3), nop)
 		}
 	}},
-	{"emitter-throughput", func(b *testing.B) {
+	{name: "emitter-throughput", fn: func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			s := emitter.Start(1, func(t *emitter.Thread) { t.IntOps(1 << 16) })
@@ -122,7 +130,7 @@ var benchmarks = []struct {
 		}
 		b.ReportMetric(float64(int(1)<<16), "instrs/op")
 	}},
-	{"isa-encode", func(b *testing.B) {
+	{name: "isa-encode", fn: func(b *testing.B) {
 		ins := benchInstrs(1 << 15)
 		buf := isa.EncodeStream(ins)
 		b.ReportAllocs()
@@ -136,7 +144,7 @@ var benchmarks = []struct {
 		b.ReportMetric(float64(len(ins)), "instrs/op")
 		b.ReportMetric(float64(len(buf))/float64(len(ins)), "bytes/instr")
 	}},
-	{"isa-decode", func(b *testing.B) {
+	{name: "isa-decode", fn: func(b *testing.B) {
 		ins := benchInstrs(1 << 15)
 		enc := isa.EncodeStream(ins)
 		b.ReportAllocs()
@@ -153,7 +161,7 @@ var benchmarks = []struct {
 		}
 		b.ReportMetric(float64(len(ins)), "instrs/op")
 	}},
-	{"trace-roundtrip", func(b *testing.B) {
+	{name: "trace-roundtrip", fn: func(b *testing.B) {
 		ins := benchInstrs(1 << 15)
 		var compressed int
 		b.ReportAllocs()
@@ -197,18 +205,18 @@ var benchmarks = []struct {
 		b.ReportMetric(float64(len(ins)), "instrs/op")
 		b.ReportMetric(float64(compressed)/float64(len(ins)), "comp-bytes/instr")
 	}},
-	{"sim-speed-mipsy", func(b *testing.B) {
+	{name: "sim-speed-mipsy", fn: func(b *testing.B) {
 		benchRun(b, core.SimOSMipsy(1, 150, true))
 	}},
-	{"sim-speed-mxs", func(b *testing.B) {
+	{name: "sim-speed-mxs", fn: func(b *testing.B) {
 		benchRun(b, core.SimOSMXS(1, true))
 	}},
-	{"sim-speed-hw", func(b *testing.B) {
+	{name: "sim-speed-hw", fn: func(b *testing.B) {
 		cfg := hw.Config(1, true)
 		cfg.JitterPct = 0
 		benchRun(b, cfg)
 	}},
-	{"sim-speed-sampled", func(b *testing.B) {
+	{name: "sim-speed-sampled", fn: func(b *testing.B) {
 		// Execution-driven sampling under the default warm schedule: the
 		// speed side of the validate -experiment sampling error rows.
 		// Live generation and warm-state touches bound the win.
@@ -216,12 +224,12 @@ var benchmarks = []struct {
 		cfg.Sampling = machine.DefaultSampling()
 		benchRun(b, cfg)
 	}},
-	{"sim-speed-sampled-replay", func(b *testing.B) {
+	{name: "sim-speed-sampled-replay", fn: func(b *testing.B) {
 		// The replay image as the fast-forward stream, default schedule:
 		// collapsed compute runs skip in O(1) but warm touches remain.
 		benchSampledReplay(b, machine.DefaultSampling())
 	}},
-	{"sim-speed-sampled-replay-cold", func(b *testing.B) {
+	{name: "sim-speed-sampled-replay-cold", fn: func(b *testing.B) {
 		// The speed end of the trade-off: trace fast-forward with a
 		// sparse cold schedule (2% detailed, no warm touches). Compare
 		// against sim-speed-mipsy for the sampled-vs-execution-driven
@@ -231,7 +239,7 @@ var benchmarks = []struct {
 		sched.ColdState = true
 		benchSampledReplay(b, sched)
 	}},
-	{"figure1-quick", func(b *testing.B) {
+	{name: "figure1-quick", fn: func(b *testing.B) {
 		s := harness.NewSession(harness.ScaleQuick)
 		for i := 0; i < b.N; i++ {
 			if _, _, err := s.Figure1(); err != nil {
@@ -239,7 +247,15 @@ var benchmarks = []struct {
 			}
 		}
 	}},
-	{"figure1-sampled", func(b *testing.B) {
+	// The shard-scaling curve: the same figure with every simulation
+	// partitioned across 2/4/8 host cores (figure1-quick above is the
+	// shards=1 baseline). Results are bit-identical at every rung —
+	// only the wall clock moves — so ns/op across these four entries
+	// against the record's CPUs field IS the intra-run speedup curve.
+	{name: "figure1-quick-shards2", fn: benchFigure1Sharded(2), shards: 2},
+	{name: "figure1-quick-shards4", fn: benchFigure1Sharded(4), shards: 4},
+	{name: "figure1-quick-shards8", fn: benchFigure1Sharded(8), shards: 8},
+	{name: "figure1-sampled", fn: func(b *testing.B) {
 		// The same figure with every study simulator running the default
 		// sampling schedule: the speed axis of the sampled-simulation
 		// trade-off, paired with validate -experiment sampling's error
@@ -321,6 +337,23 @@ func benchSampledReplay(b *testing.B, sched machine.SamplingConfig) {
 	b.ReportMetric(100*float64(res.Sampling.DetailedInstrs)/float64(res.Instructions), "detailed-%")
 }
 
+// benchFigure1Sharded builds a figure1-quick variant whose simulations
+// all run with the given intra-run shard count.
+func benchFigure1Sharded(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		s := harness.NewSession(harness.ScaleQuick)
+		s.Override = func(cfg machine.Config) (machine.Config, error) {
+			cfg.Shards = shards
+			return cfg, nil
+		}
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.Figure1(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // benchRun measures one quick FFT machine run and reports simulated
 // instructions per op, the simulator-speed axis of the paper.
 func benchRun(b *testing.B, cfg machine.Config) {
@@ -367,12 +400,17 @@ func main() {
 			continue
 		}
 		r := testing.Benchmark(bm.fn)
+		shards := bm.shards
+		if shards == 0 {
+			shards = 1
+		}
 		e := Entry{
 			Name:        bm.name,
 			N:           r.N,
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			Shards:      shards,
 		}
 		if len(r.Extra) > 0 {
 			e.Extra = r.Extra

@@ -16,19 +16,23 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"flashsim/internal/cliutil"
 	"flashsim/internal/harness"
+	"flashsim/internal/machine"
+	"flashsim/internal/runner"
 )
 
 func main() {
 	log.SetFlags(0)
 	var (
-		all    = flag.Bool("all", false, "run figures 5, 6, and 7")
-		figure = flag.Int("figure", 0, "run figure 5, 6, or 7")
-		quick  = flag.Bool("quick", false, "use reduced problem sizes")
-		cf     = cliutil.Register()
+		all         = flag.Bool("all", false, "run figures 5, 6, and 7")
+		figure      = flag.Int("figure", 0, "run figure 5, 6, or 7")
+		quick       = flag.Bool("quick", false, "use reduced problem sizes")
+		shardsCurve = flag.Bool("shards-curve", false, "measure the quick Figure 5 wall clock at 1/2/4/8 intra-run shards (results are bit-identical; only host time moves)")
+		cf          = cliutil.Register()
 	)
 	flag.Parse()
 	if err := cf.Finish(); err != nil {
@@ -78,8 +82,43 @@ func main() {
 	if *all || *figure == 7 {
 		runFig(7, func() (string, error) { _, t, err := s.Figure7(); return t, err })
 	}
+	if *shardsCurve {
+		ran = true
+		runShardsCurve(cf)
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runShardsCurve times the quick Figure 5 at each shard rung. Every
+// rung uses a fresh one-worker pool with no memo store, so intra-run
+// sharding is the only parallelism and nothing is served from cache —
+// the row is a pure wall-clock speedup curve over identical results.
+func runShardsCurve(cf *cliutil.Flags) {
+	fmt.Printf("Intra-run shard scaling, quick Figure 5 (host: %d CPUs, GOMAXPROCS %d):\n",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	var base time.Duration
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		s := harness.NewSessionWithPool(harness.ScaleQuick, runner.New(1, nil))
+		s.Override = func(cfg machine.Config) (machine.Config, error) {
+			cfg, err := cf.Apply(cfg)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Shards = n
+			return cfg, nil
+		}
+		t0 := time.Now()
+		if _, _, err := s.Figure5(); err != nil {
+			log.Fatalf("shards=%d: %v", n, err)
+		}
+		d := time.Since(t0)
+		if n == 1 {
+			base = d
+		}
+		fmt.Printf("  shards=%d  %10v  speedup %.2fx\n", n, d.Round(time.Millisecond), base.Seconds()/d.Seconds())
 	}
 }

@@ -50,6 +50,55 @@ func (w *WriteBuffer) Push(t, done sim.Ticks) sim.Ticks {
 	return proceed
 }
 
+// PushPending reserves a slot for a store issued at time t whose
+// completion time is not yet known (the miss is deferred to a barrier
+// phase). The placeholder sits at the buffer tail as sim.Forever until
+// Patch fills it in. ok=false means every slot is held by an unpatched
+// placeholder, so the oldest drain time is unknowable and the caller
+// must defer the whole store instead; otherwise proceed is when the
+// processor may continue (t, or the oldest real entry's drain on a full
+// buffer).
+func (w *WriteBuffer) PushPending(t sim.Ticks) (proceed sim.Ticks, ok bool) {
+	w.expire(t)
+	proceed = t
+	if len(w.drains) >= w.entries {
+		if w.drains[0] == sim.Forever {
+			return 0, false
+		}
+		oldest := w.drains[0]
+		w.drains = w.drains[1:]
+		if oldest > proceed {
+			w.stalls++
+			w.stallT += oldest - proceed
+			proceed = oldest
+		}
+	}
+	w.drains = append(w.drains, sim.Forever)
+	return proceed, true
+}
+
+// Patch resolves the oldest placeholder to its real drain time. Stores
+// issue in program order per node and the barrier phase executes their
+// deferred operations in that same order, so first-placeholder-first is
+// FIFO-correct.
+func (w *WriteBuffer) Patch(done sim.Ticks) {
+	for i, d := range w.drains {
+		if d != sim.Forever {
+			continue
+		}
+		copy(w.drains[i:], w.drains[i+1:])
+		w.drains = w.drains[:len(w.drains)-1]
+		j := len(w.drains)
+		for j > 0 && w.drains[j-1] > done {
+			j--
+		}
+		w.drains = append(w.drains, 0)
+		copy(w.drains[j+1:], w.drains[j:])
+		w.drains[j] = done
+		return
+	}
+}
+
 // DrainBy returns the time by which every buffered store has completed,
 // given current time t (used at synchronization points).
 func (w *WriteBuffer) DrainBy(t sim.Ticks) sim.Ticks {

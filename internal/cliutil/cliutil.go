@@ -40,6 +40,7 @@ const (
 	traceInUsage    = "replay a previously captured trace container instead of executing the workload (trace-driven run)"
 	sampleUsage     = "enable sampled simulation: 'on' for the default schedule, or period:window:warmup[:phase] instruction counts"
 	sampleColdUsage = "sampled fast-forward leaves cache/TLB/directory state cold instead of warming it (requires -sample)"
+	shardsUsage     = "partition simulated nodes across this many host cores inside each run (results are bit-identical at any value; clamped to the processor count)"
 )
 
 // Flags carries the shared flag values after flag.Parse.
@@ -57,6 +58,7 @@ type Flags struct {
 	TraceIn    string
 	Sample     string
 	SampleCold bool
+	Shards     int
 
 	sets     stringList
 	settings []param.Setting
@@ -100,6 +102,7 @@ func RegisterOn(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.TraceIn, "trace-in", "", traceInUsage)
 	fs.StringVar(&f.Sample, "sample", "", sampleUsage)
 	fs.BoolVar(&f.SampleCold, "sample-cold", false, sampleColdUsage)
+	fs.IntVar(&f.Shards, "shards", 1, shardsUsage)
 	return f
 }
 
@@ -225,9 +228,17 @@ func (f *Flags) HasOverrides() bool {
 }
 
 // Apply returns cfg with the -config snapshot and then every -set
-// override applied, in order. It is a no-op without overrides, so it is
-// safe to install unconditionally as a Session override hook.
+// override applied, in order, plus the -shards execution knob (which is
+// not a registry parameter: it never changes results or fingerprints).
+// It is a no-op without overrides, so it is safe to install
+// unconditionally as a Session override hook.
 func (f *Flags) Apply(cfg machine.Config) (machine.Config, error) {
+	// -shards 1 (the default) is left unwritten: serial is already the
+	// zero value's behavior, and skipping the write keeps Apply an exact
+	// identity when no flag was given.
+	if f.Shards > 1 {
+		cfg.Shards = f.Shards
+	}
 	var err error
 	if f.snapshot != nil {
 		cfg, err = param.ApplySnapshot(cfg, *f.snapshot)

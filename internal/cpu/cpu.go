@@ -34,6 +34,13 @@ type MemInfo struct {
 	// DirtyCacheOp reports a CACHE instruction that hit a dirty line
 	// (the trigger of the historical MXS stall bug).
 	DirtyCacheOp bool
+	// Pending reports that the access needs the shared memory system
+	// and has been deferred to the engine's next barrier phase: no
+	// other field is meaningful yet. The processor must save enough
+	// context to finish the instruction later, return a Blocked
+	// outcome, and complete the access when Deliver hands it the final
+	// MemInfo.
+	Pending bool
 }
 
 // Port is the machine-side memory interface a processor model drives.
@@ -81,6 +88,11 @@ const (
 	// Finished: the instruction stream is exhausted; Outcome.Time is
 	// the completion time.
 	Finished
+	// Blocked: the processor issued a memory access the port deferred
+	// (MemInfo.Pending) and is suspended mid-instruction. The machine
+	// executes the deferred operation at its next barrier phase and
+	// resumes the processor at the time Deliver returns.
+	Blocked
 )
 
 // Outcome is what Run returns to the machine's event loop.
@@ -88,6 +100,17 @@ type Outcome struct {
 	Kind  OutcomeKind
 	Time  sim.Ticks
 	Instr isa.Instr // valid for SyncOp
+}
+
+// Blocking is the suspension half of the deferred-access protocol: a
+// processor that can return a Blocked outcome implements it. Deliver
+// hands the core the completed MemInfo of its deferred access; the
+// core finishes the suspended instruction and returns the time at
+// which the machine should call Run again. Every core the machine
+// constructs implements Blocking — the windowed engine defers all
+// shared-memory operations, at any shard count.
+type Blocking interface {
+	Deliver(mi MemInfo) sim.Ticks
 }
 
 // CPU is a processor model bound to one instruction stream and one

@@ -46,6 +46,12 @@ type CPU struct {
 	lat    isa.LatencyTable
 	stats  cpu.Stats
 	useLat bool
+
+	// Suspension context for a port-deferred access (cpu.Blocking):
+	// the instruction's start time and whether the load-stall counter
+	// applies when the completion arrives.
+	pendT      sim.Ticks
+	pendIsLoad bool
 }
 
 // New binds a Mipsy core to an instruction stream and a memory port.
@@ -63,6 +69,23 @@ func New(cfg Config, rd cpu.Stream, port cpu.Port) *CPU {
 
 // Stats returns the core's counters.
 func (c *CPU) Stats() cpu.Stats { return c.stats }
+
+// Deliver implements cpu.Blocking: it completes the access the port
+// deferred, running the same timing tail the inline path runs, and
+// returns when the core should resume.
+func (c *CPU) Deliver(mi cpu.MemInfo) sim.Ticks {
+	period := c.cfg.Clock.Period
+	next := c.pendT + period
+	if mi.Done > next {
+		if c.pendIsLoad {
+			c.stats.LoadStalls += mi.Done - next
+		}
+		next = mi.Done
+	}
+	t := c.cfg.Clock.Align(next)
+	c.stats.Cycles = uint64(t / period)
+	return t
+}
 
 // Run executes instructions in order starting at t.
 func (c *CPU) Run(t sim.Ticks) cpu.Outcome {
@@ -82,6 +105,10 @@ func (c *CPU) Run(t sim.Ticks) cpu.Outcome {
 
 		case isa.Load:
 			mi := c.port.Load(t, in.Addr, in.Size)
+			if mi.Pending {
+				c.pendT, c.pendIsLoad = t, true
+				return cpu.Outcome{Kind: cpu.Blocked, Time: t}
+			}
 			// Blocking read: the core waits for the data.
 			next := t + period
 			if mi.Done > next {
@@ -97,6 +124,10 @@ func (c *CPU) Run(t sim.Ticks) cpu.Outcome {
 
 		case isa.Store:
 			mi := c.port.Store(t, in.Addr, in.Size)
+			if mi.Pending {
+				c.pendT, c.pendIsLoad = t, false
+				return cpu.Outcome{Kind: cpu.Blocked, Time: t}
+			}
 			next := t + period
 			if mi.Done > next {
 				next = mi.Done
@@ -112,6 +143,10 @@ func (c *CPU) Run(t sim.Ticks) cpu.Outcome {
 
 		case isa.CacheOp:
 			mi := c.port.CacheOp(t, in.Addr, in.Aux)
+			if mi.Pending {
+				c.pendT, c.pendIsLoad = t, false
+				return cpu.Outcome{Kind: cpu.Blocked, Time: t}
+			}
 			next := t + period
 			if mi.Done > next {
 				next = mi.Done

@@ -120,6 +120,12 @@ type CPU struct {
 
 	retireSpacing sim.Ticks
 	stats         cpu.Stats
+
+	// Suspension context for a port-deferred access (cpu.Blocking).
+	pendLat       isa.Latency
+	pendIssueT    sim.Ticks
+	pendDepsReady bool
+	pendCacheOp   bool
 }
 
 // New binds an MXS core to an instruction stream and memory port.
@@ -182,6 +188,83 @@ func (c *CPU) depReady(dist uint32) sim.Ticks {
 		return 0
 	}
 	return c.hist[(c.n-uint64(dist))%histSize]
+}
+
+// completeInstr finishes one instruction after its completion time is
+// known: the historical fast-issue bug ("an instruction would move
+// through the pipeline too quickly if all of its resources were
+// available when it issued"), pipeline-flush redirects, the TLB-refill
+// squash, the completion history, and in-order retire with bandwidth
+// RetireWidth. It is the shared tail of the inline path and Deliver.
+func (c *CPU) completeInstr(lat isa.Latency, issueT, completeT sim.Ticks, depsReady, tlbFlush bool) {
+	period := c.cfg.Clock.Period
+	if c.cfg.Fidelity.BugFastIssue && depsReady && completeT > issueT+period {
+		completeT -= period
+	}
+
+	if lat.FlushesPipe {
+		c.stats.PipeFlushes++
+		resume := completeT + period*sim.Ticks(c.cfg.FlushPenalty)
+		if resume > c.curFetch {
+			c.curFetch = c.cfg.Clock.Align(resume)
+			c.fetchedInC = 0
+		}
+	}
+	if tlbFlush {
+		// A TLB refill is an exception: the pipeline is squashed
+		// and no later instruction overlaps the handler. The
+		// handler cost itself is inside completeT (charged by the
+		// port); redirect fetch behind it.
+		c.stats.PipeFlushes++
+		if completeT > c.curFetch {
+			c.curFetch = c.cfg.Clock.Align(completeT)
+			c.fetchedInC = 0
+		}
+	}
+
+	c.hist[c.n%histSize] = completeT
+
+	// In-order retire with bandwidth RetireWidth.
+	rT := completeT
+	if m := c.prevRetire + c.retireSpacing; m > rT {
+		rT = m
+	}
+	c.retireRing[c.n%uint64(c.cfg.Window)] = rT
+	c.prevRetire = rT
+	c.n++
+}
+
+// Deliver implements cpu.Blocking: the port deferred the suspended
+// memory access to a barrier phase and mi is its completed result.
+// The core finishes the instruction exactly as the inline path would
+// have and returns the resume time the inline memYield return uses —
+// at least the transaction's issue time, so the next shared-resource
+// reservation is made in global time order.
+func (c *CPU) Deliver(mi cpu.MemInfo) sim.Ticks {
+	period := c.cfg.Clock.Period
+	completeT := mi.Done
+	if c.pendCacheOp {
+		// Mirror the inline CACHE path: no latency floor, no TLB
+		// squash, but the historical dirty-line stall bug applies.
+		if c.cfg.Fidelity.BugCacheOpStall && mi.DirtyCacheOp {
+			stall := c.cfg.Fidelity.CacheOpStallCycles
+			if stall == 0 {
+				stall = 1_000_000
+			}
+			completeT += period * sim.Ticks(stall)
+		}
+		c.completeInstr(c.pendLat, c.pendIssueT, completeT, c.pendDepsReady, false)
+	} else {
+		if m := c.pendIssueT + period*sim.Ticks(c.pendLat.Cycles); completeT < m {
+			completeT = m
+		}
+		c.completeInstr(c.pendLat, c.pendIssueT, completeT, c.pendDepsReady, mi.TLBMiss)
+	}
+	at := c.curFetch
+	if mi.IssuedAt > at {
+		at = mi.IssuedAt
+	}
+	return at
 }
 
 // Run executes instructions starting at t until the model yields.
@@ -262,6 +345,10 @@ func (c *CPU) Run(t sim.Ticks) cpu.Outcome {
 		switch in.Op {
 		case isa.Load:
 			mi := c.port.Load(issueT, in.Addr, in.Size)
+			if mi.Pending {
+				c.pendLat, c.pendIssueT, c.pendDepsReady, c.pendCacheOp = lat, issueT, depsReady, false
+				return cpu.Outcome{Kind: cpu.Blocked, Time: issueT}
+			}
 			completeT = mi.Done
 			if m := issueT + period*sim.Ticks(lat.Cycles); completeT < m {
 				completeT = m
@@ -271,6 +358,10 @@ func (c *CPU) Run(t sim.Ticks) cpu.Outcome {
 			tlbFlush = mi.TLBMiss
 		case isa.Store:
 			mi := c.port.Store(issueT, in.Addr, in.Size)
+			if mi.Pending {
+				c.pendLat, c.pendIssueT, c.pendDepsReady, c.pendCacheOp = lat, issueT, depsReady, false
+				return cpu.Outcome{Kind: cpu.Blocked, Time: issueT}
+			}
 			completeT = issueT + period*sim.Ticks(lat.Cycles)
 			if mi.Done > completeT {
 				completeT = mi.Done
@@ -283,6 +374,10 @@ func (c *CPU) Run(t sim.Ticks) cpu.Outcome {
 			completeT = issueT + period
 		case isa.CacheOp:
 			mi := c.port.CacheOp(issueT, in.Addr, in.Aux)
+			if mi.Pending {
+				c.pendLat, c.pendIssueT, c.pendDepsReady, c.pendCacheOp = lat, issueT, depsReady, true
+				return cpu.Outcome{Kind: cpu.Blocked, Time: issueT}
+			}
 			completeT = mi.Done
 			if c.cfg.Fidelity.BugCacheOpStall && mi.DirtyCacheOp {
 				stall := c.cfg.Fidelity.CacheOpStallCycles
@@ -308,45 +403,7 @@ func (c *CPU) Run(t sim.Ticks) cpu.Outcome {
 			completeT = issueT + period*sim.Ticks(lat.Cycles)
 		}
 
-		// Historical fast-issue bug: an instruction whose resources
-		// (operands and functional unit) were all available when it
-		// issued slipped through a pipeline stage early — "the
-		// circumstances that triggered the bug were not the most
-		// common case".
-		if c.cfg.Fidelity.BugFastIssue && depsReady && completeT > issueT+period {
-			completeT -= period
-		}
-
-		if lat.FlushesPipe {
-			c.stats.PipeFlushes++
-			resume := completeT + period*sim.Ticks(c.cfg.FlushPenalty)
-			if resume > c.curFetch {
-				c.curFetch = c.cfg.Clock.Align(resume)
-				c.fetchedInC = 0
-			}
-		}
-		if tlbFlush {
-			// A TLB refill is an exception: the pipeline is squashed
-			// and no later instruction overlaps the handler. The
-			// handler cost itself is inside completeT (charged by the
-			// port); redirect fetch behind it.
-			c.stats.PipeFlushes++
-			if completeT > c.curFetch {
-				c.curFetch = c.cfg.Clock.Align(completeT)
-				c.fetchedInC = 0
-			}
-		}
-
-		c.hist[c.n%histSize] = completeT
-
-		// In-order retire with bandwidth RetireWidth.
-		rT := completeT
-		if m := c.prevRetire + c.retireSpacing; m > rT {
-			rT = m
-		}
-		c.retireRing[c.n%uint64(c.cfg.Window)] = rT
-		c.prevRetire = rT
-		c.n++
+		c.completeInstr(lat, issueT, completeT, depsReady, tlbFlush)
 
 		if memYield {
 			// Yield to at least the transaction's issue time so the

@@ -77,7 +77,8 @@ func RunWith(cfg Config, d Driver) (Result, error) {
 	})
 	m.drive()
 
-	ok := m.runErr == nil && m.finished == cfg.Procs
+	finished := m.finishedTotal()
+	ok := m.runErr == nil && finished == cfg.Procs
 	em, err := d.Finish(ok)
 	if err != nil {
 		return Result{}, fmt.Errorf("machine %q: %w", cfg.Name, err)
@@ -85,9 +86,9 @@ func RunWith(cfg Config, d Driver) (Result, error) {
 	if m.runErr != nil {
 		return Result{}, m.runErr
 	}
-	if m.finished != cfg.Procs {
+	if finished != cfg.Procs {
 		return Result{}, fmt.Errorf("machine %q: deadlock: %d of %d processors finished (pending events %d)",
-			cfg.Name, m.finished, cfg.Procs, m.queue.Len())
+			cfg.Name, finished, cfg.Procs, m.pendingEvents())
 	}
 	res := m.collect(em)
 	res.Metrics.Workload = d.Workload()

@@ -22,25 +22,26 @@ const (
 
 // Machine is one fully composed simulated system executing one program.
 type Machine struct {
-	cfg   Config
-	queue *sim.Queue
-	mem   memsys.System
-	os    *osmodel.OS
-	nodes []*node
+	cfg    Config
+	shards []*shard
+	window sim.Ticks // windowed-engine quantum W (lookahead-derived)
+	mem    memsys.System
+	os     *osmodel.OS
+	nodes  []*node
 
 	barriers   map[uint32]*barrierState
 	locks      map[uint32]*lockState
 	barrierRel map[uint32][]sim.Ticks
 
-	finished    int
 	finishTimes []sim.Ticks
 	runErr      error
 }
 
 type node struct {
-	id   int
-	core cpu.CPU
-	port *memPort
+	id    int
+	core  cpu.CPU
+	port  *memPort
+	shard *shard
 }
 
 type barrierState struct {
@@ -75,7 +76,6 @@ func Run(cfg Config, prog emitter.Program) (Result, error) {
 func build(cfg Config, space *emitter.AddressSpace, newCore func(i int, clock sim.Clock, p *memPort) cpu.CPU) *Machine {
 	m := &Machine{
 		cfg:        cfg,
-		queue:      sim.NewQueue(),
 		barriers:   make(map[uint32]*barrierState),
 		locks:      make(map[uint32]*lockState),
 		barrierRel: make(map[uint32][]sim.Ticks),
@@ -104,6 +104,33 @@ func build(cfg Config, space *emitter.AddressSpace, newCore func(i int, clock si
 		m.mem.Directory().SetInvariantChecks(true)
 	}
 
+	// Window width: the interconnect's conservative lookahead (45 ticks
+	// per hop by default) scaled by a fixed multiplier. Config-derived,
+	// never host- or shard-derived, so the quantization — and with it
+	// every result — is a function of the configuration alone.
+	la := sim.NS(50)
+	if net := m.mem.Net(); net != nil {
+		la = net.Lookahead()
+	}
+	m.window = la * windowLookaheadMult
+
+	// Nodes partition into contiguous shard blocks; shard queues run
+	// relaxed because barrier deliveries legitimately resume a node
+	// below its queue's dispatch horizon.
+	nshards := cfg.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	if nshards > cfg.Procs {
+		nshards = cfg.Procs
+	}
+	m.shards = make([]*shard, nshards)
+	for s := range m.shards {
+		q := sim.NewQueue()
+		q.SetRelaxed(true)
+		m.shards[s] = &shard{id: s, queue: q}
+	}
+
 	clock := sim.NewClock(cfg.ClockMHz)
 	m.nodes = make([]*node, cfg.Procs)
 	m.finishTimes = make([]sim.Ticks, cfg.Procs)
@@ -121,26 +148,9 @@ func build(cfg Config, space *emitter.AddressSpace, newCore func(i int, clock si
 				TransferTicks: sim.NS(cfg.L2TransferNS),
 			},
 		}
-		m.nodes[i] = &node{id: i, core: newCore(i, clock, p), port: p}
+		m.nodes[i] = &node{id: i, core: newCore(i, clock, p), port: p, shard: m.shards[shardOf(i, cfg.Procs, nshards)]}
 	}
 	return m
-}
-
-// drive runs the event loop to quiescence.
-func (m *Machine) drive() {
-	for _, n := range m.nodes {
-		m.queue.ScheduleFn(0, int32(n.id), m, uint64(n.id))
-	}
-	const eventCap = 2_000_000_000 // runaway guard, far above any real run
-	for fired := 0; fired < eventCap; {
-		// Batch all same-tick dispatches (the all-nodes-at-zero start,
-		// barrier releases) in one heap pass.
-		n := m.queue.StepBatch()
-		if n == 0 {
-			break
-		}
-		fired += n
-	}
 }
 
 // HandleEvent implements sim.Handler: arg is a node id. All hot-path
@@ -150,7 +160,10 @@ func (m *Machine) HandleEvent(now sim.Ticks, arg uint64) {
 	m.step(m.nodes[arg], now)
 }
 
-// step runs one scheduling slice of a node's processor.
+// step runs one scheduling slice of a node's processor. It executes on
+// the node's shard (a worker goroutine during parallel phases) and must
+// touch only node-local state: sync operations defer to the barrier
+// like any other shared-state work.
 func (m *Machine) step(n *node, now sim.Ticks) {
 	out := n.core.Run(now)
 	switch out.Kind {
@@ -159,21 +172,21 @@ func (m *Machine) step(n *node, now sim.Ticks) {
 		if at < now {
 			at = now
 		}
-		m.queue.ScheduleFn(at, int32(n.id), m, uint64(n.id))
+		n.shard.queue.ScheduleFn(at, int32(n.id), m, uint64(n.id))
+	case cpu.Blocked:
+		// Suspended mid-instruction on a deferred access; the barrier
+		// phase executes the pending op and delivers the resume.
 	case cpu.Finished:
 		m.finishTimes[n.id] = out.Time
-		m.finished++
+		n.shard.finished++
 	case cpu.SyncOp:
-		m.handleSync(n, out)
+		n.port.push(pendingOp{kind: opSync, t: out.Time, instr: out.Instr})
 	}
 }
 
-// resume schedules a node's next slice at time t.
-func (m *Machine) resume(n *node, t sim.Ticks, now sim.Ticks) {
-	if t < now {
-		t = now
-	}
-	m.queue.ScheduleFn(t, int32(n.id), m, uint64(n.id))
+// resume schedules a node's next slice at time t (serial phase only).
+func (m *Machine) resume(n *node, t sim.Ticks) {
+	n.shard.queue.ScheduleFn(t, int32(n.id), m, uint64(n.id))
 }
 
 // syncPA synthesizes the physical line address backing a lock or
@@ -189,10 +202,12 @@ const (
 	barrierFrameBase = 0x00A00000
 )
 
-// handleSync processes a LOCK/UNLOCK/BARRIER instruction.
+// handleSync processes a LOCK/UNLOCK/BARRIER instruction. It runs in
+// the barrier's serial phase: every earlier deferred store has already
+// patched its write-buffer placeholder (per-node op order), so DrainBy
+// sees only resolved drain times.
 func (m *Machine) handleSync(n *node, out cpu.Outcome) {
 	id := out.Instr.Aux
-	now := m.queue.Now()
 	switch out.Instr.Op {
 	case isa.Barrier:
 		t := n.port.wb.DrainBy(out.Time)
@@ -210,7 +225,7 @@ func (m *Machine) handleSync(n *node, out cpu.Outcome) {
 			rel := bs.maxT
 			m.barrierRel[id] = append(m.barrierRel[id], rel)
 			for _, id2 := range bs.waiting {
-				m.resume(m.nodes[id2], rel, now)
+				m.resume(m.nodes[id2], rel)
 			}
 			bs.waiting = bs.waiting[:0]
 			bs.maxT = 0
@@ -225,7 +240,7 @@ func (m *Machine) handleSync(n *node, out cpu.Outcome) {
 		}
 		if !ls.held {
 			ls.held = true
-			m.resume(n, w.Done, now)
+			m.resume(n, w.Done)
 		} else {
 			ls.queue = append(ls.queue, lockWaiter{node: n.id, ready: w.Done})
 		}
@@ -235,12 +250,12 @@ func (m *Machine) handleSync(n *node, out cpu.Outcome) {
 		ls := m.locks[id]
 		if ls == nil || !ls.held {
 			m.runErr = fmt.Errorf("machine %q: node %d unlocked free lock %d", m.cfg.Name, n.id, id)
-			m.resume(n, t, now)
+			m.resume(n, t)
 			return
 		}
 		// The unlocking processor proceeds immediately; the release
 		// propagates at the store's completion.
-		m.resume(n, t, now)
+		m.resume(n, t)
 		if len(ls.queue) > 0 {
 			next := ls.queue[0]
 			ls.queue = ls.queue[1:]
@@ -249,7 +264,7 @@ func (m *Machine) handleSync(n *node, out cpu.Outcome) {
 				start = next.ready
 			}
 			g := m.mem.Write(start, next.node, m.syncPA(lockFrameBase, id))
-			m.resume(m.nodes[next.node], g.Done, now)
+			m.resume(m.nodes[next.node], g.Done)
 		} else {
 			ls.held = false
 		}

@@ -18,7 +18,7 @@ func (m *Machine) buildMetrics(r *Result, em obs.EmitterCounters) obs.RunMetrics
 		Instructions: r.Instructions,
 		ExecTicks:    uint64(r.Exec),
 		TotalTicks:   uint64(r.Total),
-		Queue:        m.queue.Stats(),
+		Queue:        m.queueCounters(),
 		Emitter:      em,
 		L1:           cacheCounters(r.L1),
 		L2:           cacheCounters(r.L2),
@@ -31,6 +31,23 @@ func (m *Machine) buildMetrics(r *Result, em obs.EmitterCounters) obs.RunMetrics
 		rm.Net = obs.NetworkCounters{Messages: s.Messages, Bytes: s.Bytes, Hops: s.Hops}
 	}
 	return rm
+}
+
+// queueCounters merges the shard-local event-queue counters in
+// shard-index order. Each node holds at most one outstanding pooled
+// event, so every queue's cold allocations equal its node count and the
+// merged counters are bit-identical at any shard count; the fixed merge
+// order makes the snapshot byte-stable regardless of which shard
+// finished its last phase first.
+func (m *Machine) queueCounters() obs.QueueCounters {
+	var q obs.QueueCounters
+	for _, sh := range m.shards {
+		s := sh.queue.Stats()
+		q.Scheduled += s.Scheduled
+		q.Fired += s.Fired
+		q.Recycled += s.Recycled
+	}
+	return q
 }
 
 func cacheCounters(s cache.Stats) obs.CacheCounters {

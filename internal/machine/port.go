@@ -30,6 +30,15 @@ type PortStats struct {
 // memPort is a node's data-access path: TLB/OS translation, L1, L2,
 // write buffer, MSHRs, L2 interface, then the shared memory system. It
 // implements cpu.Port.
+//
+// Under the windowed engine every access splits into a node-local
+// prefix (translation of mapped pages, L1/L2 tag checks, write-buffer
+// slot reservation) that runs inside the parallel phase, and a shared
+// tail (memory-system transactions, MSHR bookkeeping against ops that
+// executed in between, page faults) that is deferred as a pendingOp and
+// executed at the next barrier in global (t, node, seq) order. The
+// finish* methods are those tails; the canDefer=false paths let the
+// barrier executor re-enter the same code without re-deferring.
 type memPort struct {
 	m     *Machine
 	node  int
@@ -40,6 +49,26 @@ type memPort struct {
 	mshr  *cache.MSHRs
 	l2if  *cache.L2Interface
 	stats PortStats
+
+	// Deferred-operation sink: ops this node produced during the
+	// current parallel phase, drained and merged at the barrier. seq
+	// numbers ops per node; lastOpT keeps per-node op times monotone so
+	// the global (t, node, seq) sort preserves each node's issue order.
+	ops     []pendingOp
+	opSeq   uint64
+	lastOpT sim.Ticks
+}
+
+// push defers op to the barrier phase.
+func (p *memPort) push(op pendingOp) {
+	if op.t < p.lastOpT {
+		op.t = p.lastOpT
+	}
+	p.lastOpT = op.t
+	op.node = p.node
+	op.seq = p.opSeq
+	p.opSeq++
+	p.ops = append(p.ops, op)
 }
 
 func (p *memPort) cyc(n uint32) sim.Ticks { return p.clock.Cycles(uint64(n)) }
@@ -82,6 +111,19 @@ func (p *memPort) evictL2(t sim.Ticks, v cache.Victim) {
 // Load implements cpu.Port.
 func (p *memPort) Load(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
 	p.stats.Loads++
+	return p.load(t, va, size, true)
+}
+
+// load is the Load body. canDefer selects the parallel-phase prefix
+// (shared work becomes a pendingOp) versus the barrier executor's
+// synchronous re-entry.
+func (p *memPort) load(t sim.Ticks, va uint64, size uint32, canDefer bool) cpu.MemInfo {
+	if canDefer && p.m.os.NeedsFault(va) {
+		// Page faults mutate the shared page table: defer the whole
+		// access to the serial phase.
+		p.push(pendingOp{kind: opLoadFull, t: t, va: va, size: size})
+		return cpu.MemInfo{Pending: true}
+	}
 	tr := p.m.os.Translate(p.node, va)
 	if tr.PenaltyCycles > 0 {
 		d := p.cyc(tr.PenaltyCycles)
@@ -104,6 +146,18 @@ func (p *memPort) Load(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
 	// L2 miss: the off-chip tag check itself costs L2HitCycles before
 	// the request can leave the chip.
 	t2 += p.cyc(p.m.cfg.L2HitCycles)
+	if canDefer {
+		p.push(pendingOp{kind: opLoadMiss, t: t2, pa: pa, tlbMiss: tr.TLBMiss})
+		return cpu.MemInfo{Pending: true}
+	}
+	return p.finishLoadMiss(t2, pa, tr.TLBMiss)
+}
+
+// finishLoadMiss is the shared tail of a load L2 miss, entered at the
+// barrier (or synchronously from the full-access path). MSHR state and
+// the L2 recheck run here, not in the prefix, so they see every
+// same-node operation that executed since the miss was detected.
+func (p *memPort) finishLoadMiss(t2 sim.Ticks, pa uint64, tlbMiss bool) cpu.MemInfo {
 	line := p.l2.Config().LineAddr(pa)
 	if mdone, ok := p.mshr.Lookup(line, t2); ok {
 		done := mdone + p.cyc(p.m.cfg.RestartCycles)
@@ -111,7 +165,15 @@ func (p *memPort) Load(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
 			done = t2
 		}
 		p.fillL1(pa, false)
-		return cpu.MemInfo{Done: done, TLBMiss: tr.TLBMiss, WentToMemory: true, IssuedAt: t2}
+		return cpu.MemInfo{Done: done, TLBMiss: tlbMiss, WentToMemory: true, IssuedAt: t2}
+	}
+	if st2 := p.l2.Lookup(pa); st2 != cache.Invalid {
+		// An earlier deferred op (a prefetch or another access by this
+		// node) landed the line between the tag check and this barrier:
+		// only the pipeline restart remains.
+		done := t2 + p.cyc(p.m.cfg.RestartCycles)
+		p.fillL1(pa, st2 == cache.Modified || st2 == cache.Exclusive)
+		return cpu.MemInfo{Done: done, TLBMiss: tlbMiss, WentToMemory: true, IssuedAt: t2}
 	}
 	issueT := p.mshr.Reserve(line, t2)
 	res := p.m.mem.Read(issueT, p.node, line)
@@ -129,12 +191,23 @@ func (p *memPort) Load(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
 	}
 	p.evictL2(done, p.l2.Insert(line, st))
 	p.fillL1(pa, res.Exclusive)
-	return cpu.MemInfo{Done: done, TLBMiss: tr.TLBMiss, WentToMemory: true, IssuedAt: issueT}
+	return cpu.MemInfo{Done: done, TLBMiss: tlbMiss, WentToMemory: true, IssuedAt: issueT}
 }
 
 // Store implements cpu.Port.
 func (p *memPort) Store(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
 	p.stats.Stores++
+	return p.store(t, va, size, true)
+}
+
+// store is the Store body (see load for the canDefer contract). A miss
+// with a free write-buffer slot defers fire-and-forget: the processor
+// proceeds immediately and the barrier patches the slot's drain time.
+func (p *memPort) store(t sim.Ticks, va uint64, size uint32, canDefer bool) cpu.MemInfo {
+	if canDefer && p.m.os.NeedsFault(va) {
+		p.push(pendingOp{kind: opStoreFull, t: t, va: va, size: size})
+		return cpu.MemInfo{Pending: true}
+	}
 	tr := p.m.os.Translate(p.node, va)
 	if tr.PenaltyCycles > 0 {
 		d := p.cyc(tr.PenaltyCycles)
@@ -153,10 +226,9 @@ func (p *memPort) Store(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
 	}
 	t2 := t + p.cyc(p.m.cfg.L1HitCycles)
 	t2 = p.l2if.AcquireForTagCheck(t2)
-	if st2, hit2 := p.l2.Access(pa, true); hit2 {
+	if _, hit2 := p.l2.Access(pa, true); hit2 {
 		p.stats.L2Hits++
 		done := t2 + p.cyc(p.m.cfg.L2HitCycles)
-		_ = st2
 		p.fillL1(pa, true)
 		p.l1.MarkDirty(pa)
 		return cpu.MemInfo{Done: done, L2Hit: true, TLBMiss: tr.TLBMiss}
@@ -164,11 +236,34 @@ func (p *memPort) Store(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
 	// L2 write miss or upgrade: fetch/own through the memory system,
 	// but let the processor proceed through the write buffer.
 	t2 += p.cyc(p.m.cfg.L2HitCycles)
+	if canDefer {
+		if proceed, ok := p.wb.PushPending(t2); ok {
+			p.push(pendingOp{kind: opStoreMiss, t: t2, pa: pa})
+			return cpu.MemInfo{Done: proceed, TLBMiss: tr.TLBMiss, WentToMemory: true, IssuedAt: t2}
+		}
+		// Every slot holds an unpatched placeholder: the oldest drain
+		// time is unknowable until the barrier, so the store blocks.
+		p.push(pendingOp{kind: opStoreMissBlock, t: t2, pa: pa, tlbMiss: tr.TLBMiss})
+		return cpu.MemInfo{Pending: true}
+	}
+	mdone, issuedAt := p.finishStoreMiss(t2, pa)
+	proceed := p.wb.Push(t2, mdone)
+	return cpu.MemInfo{Done: proceed, TLBMiss: tr.TLBMiss, WentToMemory: true, IssuedAt: issuedAt}
+}
+
+// finishStoreMiss is the shared tail of a store L2 miss: acquire the
+// line in Modified state through the memory system (or an outstanding
+// miss, or a copy an earlier deferred op landed) and return when the
+// store's memory operation drains.
+func (p *memPort) finishStoreMiss(t2 sim.Ticks, pa uint64) (mdone, issuedAt sim.Ticks) {
 	line := p.l2.Config().LineAddr(pa)
-	var mdone sim.Ticks
-	issuedAt := t2
+	issuedAt = t2
 	if md, ok := p.mshr.Lookup(line, t2); ok {
 		mdone = md
+	} else if st2 := p.l2.Lookup(pa); st2 == cache.Modified || st2 == cache.Exclusive {
+		// Landed with write permission in between: only the restart
+		// remains. A Shared copy still needs the upgrade below.
+		mdone = t2 + p.cyc(p.m.cfg.RestartCycles)
 	} else {
 		issueT := p.mshr.Reserve(line, t2)
 		issuedAt = issueT
@@ -185,13 +280,18 @@ func (p *memPort) Store(t sim.Ticks, va uint64, size uint32) cpu.MemInfo {
 	p.evictL2(mdone, p.l2.Insert(line, cache.Modified))
 	p.fillL1(pa, true)
 	p.l1.MarkDirty(pa)
-	proceed := p.wb.Push(t2, mdone)
-	return cpu.MemInfo{Done: proceed, TLBMiss: tr.TLBMiss, WentToMemory: true, IssuedAt: issuedAt}
+	return mdone, issuedAt
 }
 
 // Prefetch implements cpu.Port: non-binding, dropped on a TLB miss.
 func (p *memPort) Prefetch(t sim.Ticks, va uint64) {
 	p.stats.Prefetches++
+	p.prefetch(t, va, true)
+}
+
+// prefetch is the Prefetch body (see load for the canDefer contract).
+// Prefetches are always fire-and-forget: the processor never waits.
+func (p *memPort) prefetch(t sim.Ticks, va uint64, canDefer bool) {
 	var pa uint64
 	if p.m.os.Kind() == osmodel.SimOS {
 		tl := p.m.os.TLB(p.node)
@@ -206,9 +306,28 @@ func (p *memPort) Prefetch(t sim.Ticks, va uint64) {
 		}
 		pa = pp.Addr(va)
 	} else {
-		tr := p.m.os.Translate(p.node, va)
-		pa = tr.PA
+		if canDefer && p.m.os.NeedsFault(va) {
+			// Solo backdoor-maps on any touch, prefetches included.
+			p.push(pendingOp{kind: opPrefetchFull, t: t, va: va})
+			return
+		}
+		pa = p.m.os.Translate(p.node, va).PA
 	}
+	if p.l1.Lookup(pa) != cache.Invalid || p.l2.Lookup(pa) != cache.Invalid {
+		return
+	}
+	if canDefer {
+		p.push(pendingOp{kind: opPrefetch, t: t, pa: pa})
+		return
+	}
+	p.finishPrefetch(t, pa)
+}
+
+// finishPrefetch issues a deferred prefetch's memory read. The presence
+// and MSHR rechecks run here so a prefetch whose line arrived through
+// an op executed in between degrades to a no-op, exactly like a
+// prefetch that raced a demand miss on hardware.
+func (p *memPort) finishPrefetch(t sim.Ticks, pa uint64) {
 	if p.l1.Lookup(pa) != cache.Invalid || p.l2.Lookup(pa) != cache.Invalid {
 		return
 	}
@@ -232,6 +351,17 @@ func (p *memPort) Prefetch(t sim.Ticks, va uint64) {
 
 // CacheOp implements cpu.Port (hit-writeback-invalidate semantics).
 func (p *memPort) CacheOp(t sim.Ticks, va uint64, aux uint32) cpu.MemInfo {
+	return p.cacheOp(t, va, aux, true)
+}
+
+// cacheOp is the CacheOp body (see load for the canDefer contract).
+// The invalidations are node-local; only a dirty line's writeback
+// touches the memory system, and the processor never waits on it.
+func (p *memPort) cacheOp(t sim.Ticks, va uint64, aux uint32, canDefer bool) cpu.MemInfo {
+	if canDefer && p.m.os.NeedsFault(va) {
+		p.push(pendingOp{kind: opCacheFull, t: t, va: va, aux: aux})
+		return cpu.MemInfo{Pending: true}
+	}
 	tr := p.m.os.Translate(p.node, va)
 	if tr.PenaltyCycles > 0 {
 		t += p.cyc(tr.PenaltyCycles)
@@ -248,13 +378,17 @@ func (p *memPort) CacheOp(t sim.Ticks, va uint64, aux uint32) cpu.MemInfo {
 	}
 	done := t + p.cyc(p.m.cfg.L2HitCycles)
 	if dirty {
-		p.m.mem.Writeback(done, p.node, p.l2.Config().LineAddr(pa))
+		if canDefer {
+			p.push(pendingOp{kind: opWriteback, t: done, pa: p.l2.Config().LineAddr(pa)})
+		} else {
+			p.m.mem.Writeback(done, p.node, p.l2.Config().LineAddr(pa))
+		}
 	}
 	return cpu.MemInfo{Done: done, DirtyCacheOp: dirty, TLBMiss: tr.TLBMiss, WentToMemory: dirty}
 }
 
 // SyscallCost implements cpu.Port.
-func (p *memPort) SyscallCost(aux uint32) uint32 { return p.m.os.SyscallCost(aux) }
+func (p *memPort) SyscallCost(aux uint32) uint32 { return p.m.os.SyscallCost(p.node, aux) }
 
 // warmAccess is the functional fast-forward's state path: it performs
 // the translation, cache, and directory transitions an access would
@@ -265,9 +399,17 @@ func (p *memPort) SyscallCost(aux uint32) uint32 { return p.m.os.SyscallCost(aux
 // (write buffer, MSHRs, L2 interface). Detailed windows that follow a
 // warm fast-forward therefore start against warm cache/TLB/directory
 // state; the elided timing is the sampling error the harness measures.
-func (p *memPort) warmAccess(t sim.Ticks, in isa.Instr) {
+//
+// Warm accesses never suspend the core: deferred shared work is always
+// fire-and-forget, and the finishWarm* rechecks keep a line another
+// deferred op already landed from being fetched twice.
+func (p *memPort) warmAccess(t sim.Ticks, in isa.Instr, canDefer bool) {
 	switch in.Op {
 	case isa.Load:
+		if canDefer && p.m.os.NeedsFault(in.Addr) {
+			p.push(pendingOp{kind: opWarmFull, t: t, instr: in})
+			return
+		}
 		p.stats.Loads++
 		pa := p.m.os.Translate(p.node, in.Addr).PA
 		if _, hit := p.l1.Access(pa, false); hit {
@@ -279,18 +421,17 @@ func (p *memPort) warmAccess(t sim.Ticks, in isa.Instr) {
 			p.fillL1(pa, st2 == cache.Modified || st2 == cache.Exclusive)
 			return
 		}
-		line := p.l2.Config().LineAddr(pa)
-		res := p.m.mem.Read(t, p.node, line)
-		p.stats.MemReads++
-		p.stats.CaseCounts[res.Case]++
-		st := cache.Shared
-		if res.Exclusive {
-			st = cache.Exclusive
+		if canDefer {
+			p.push(pendingOp{kind: opWarmLoad, t: t, pa: pa})
+			return
 		}
-		p.evictL2(t, p.l2.Insert(line, st))
-		p.fillL1(pa, res.Exclusive)
+		p.finishWarmLoad(t, pa)
 
 	case isa.Store:
+		if canDefer && p.m.os.NeedsFault(in.Addr) {
+			p.push(pendingOp{kind: opWarmFull, t: t, instr: in})
+			return
+		}
 		p.stats.Stores++
 		pa := p.m.os.Translate(p.node, in.Addr).PA
 		if st, hit := p.l1.Access(pa, true); hit {
@@ -306,20 +447,19 @@ func (p *memPort) warmAccess(t sim.Ticks, in isa.Instr) {
 			p.l1.MarkDirty(pa)
 			return
 		}
-		line := p.l2.Config().LineAddr(pa)
-		res := p.m.mem.Write(t, p.node, line)
-		p.stats.MemWrites++
-		p.stats.CaseCounts[res.Case]++
-		if res.Case == proto.Upgrade {
-			p.stats.Upgrades++
+		if canDefer {
+			p.push(pendingOp{kind: opWarmStore, t: t, pa: pa})
+			return
 		}
-		p.evictL2(t, p.l2.Insert(line, cache.Modified))
-		p.fillL1(pa, true)
-		p.l1.MarkDirty(pa)
+		p.finishWarmStore(t, pa)
 
 	case isa.CacheOp:
 		// State-changing: perform the invalidation and writeback so
 		// later windows see the flushed lines.
+		if canDefer && p.m.os.NeedsFault(in.Addr) {
+			p.push(pendingOp{kind: opWarmFull, t: t, instr: in})
+			return
+		}
 		pa := p.m.os.Translate(p.node, in.Addr).PA
 		dirty := false
 		for a := p.l2.Config().LineAddr(pa); a < p.l2.Config().LineAddr(pa)+p.l2.Config().LineSize; a += p.l1.Config().LineSize {
@@ -331,11 +471,53 @@ func (p *memPort) warmAccess(t sim.Ticks, in isa.Instr) {
 			dirty = true
 		}
 		if dirty {
-			p.m.mem.Writeback(t, p.node, p.l2.Config().LineAddr(pa))
+			if canDefer {
+				p.push(pendingOp{kind: opWriteback, t: t, pa: p.l2.Config().LineAddr(pa)})
+			} else {
+				p.m.mem.Writeback(t, p.node, p.l2.Config().LineAddr(pa))
+			}
 		}
 
 	case isa.Prefetch:
 		// Non-binding and timing-motivated; dropping prefetches is
 		// part of the functional model.
 	}
+}
+
+// finishWarmLoad completes a deferred warm load miss.
+func (p *memPort) finishWarmLoad(t sim.Ticks, pa uint64) {
+	if st2 := p.l2.Lookup(pa); st2 != cache.Invalid {
+		p.fillL1(pa, st2 == cache.Modified || st2 == cache.Exclusive)
+		return
+	}
+	line := p.l2.Config().LineAddr(pa)
+	res := p.m.mem.Read(t, p.node, line)
+	p.stats.MemReads++
+	p.stats.CaseCounts[res.Case]++
+	st := cache.Shared
+	if res.Exclusive {
+		st = cache.Exclusive
+	}
+	p.evictL2(t, p.l2.Insert(line, st))
+	p.fillL1(pa, res.Exclusive)
+}
+
+// finishWarmStore completes a deferred warm store miss.
+func (p *memPort) finishWarmStore(t sim.Ticks, pa uint64) {
+	if st2 := p.l2.Lookup(pa); st2 == cache.Modified || st2 == cache.Exclusive {
+		p.l2.MarkDirty(pa)
+		p.fillL1(pa, true)
+		p.l1.MarkDirty(pa)
+		return
+	}
+	line := p.l2.Config().LineAddr(pa)
+	res := p.m.mem.Write(t, p.node, line)
+	p.stats.MemWrites++
+	p.stats.CaseCounts[res.Case]++
+	if res.Case == proto.Upgrade {
+		p.stats.Upgrades++
+	}
+	p.evictL2(t, p.l2.Insert(line, cache.Modified))
+	p.fillL1(pa, true)
+	p.l1.MarkDirty(pa)
 }

@@ -273,6 +273,11 @@ type replayCPU struct {
 	// path's bare increment bumps cycAdd.
 	cycBase sim.Ticks
 	cycAdd  uint64
+
+	// Suspension context for a port-deferred access (cpu.Blocking),
+	// mirroring mipsy's.
+	pendT      sim.Ticks
+	pendIsLoad bool
 }
 
 func newReplayCPU(clock sim.Clock, quantum int, acts []replayAction, tail uint64, port cpu.Port) *replayCPU {
@@ -294,6 +299,22 @@ func (c *replayCPU) loadPending() {
 		c.pending = c.tail
 		c.tailLoaded = true
 	}
+}
+
+// Deliver implements cpu.Blocking, cloning mipsy's Deliver with the
+// symbolic cycle write in place of the direct stats.Cycles store.
+func (c *replayCPU) Deliver(mi cpu.MemInfo) sim.Ticks {
+	period := c.clock.Period
+	next := c.pendT + period
+	if mi.Done > next {
+		if c.pendIsLoad {
+			c.stats.LoadStalls += mi.Done - next
+		}
+		next = mi.Done
+	}
+	t := c.clock.Align(next)
+	c.cycBase, c.cycAdd = t, 0
+	return t
 }
 
 // Stats returns the core's counters.
@@ -339,6 +360,10 @@ func (c *replayCPU) Run(t sim.Ticks) cpu.Outcome {
 
 		case isa.Load:
 			mi := c.port.Load(t, in.Addr, in.Size)
+			if mi.Pending {
+				c.pendT, c.pendIsLoad = t, true
+				return cpu.Outcome{Kind: cpu.Blocked, Time: t}
+			}
 			next := t + period
 			if mi.Done > next {
 				c.stats.LoadStalls += mi.Done - next
@@ -351,6 +376,10 @@ func (c *replayCPU) Run(t sim.Ticks) cpu.Outcome {
 
 		case isa.Store:
 			mi := c.port.Store(t, in.Addr, in.Size)
+			if mi.Pending {
+				c.pendT, c.pendIsLoad = t, false
+				return cpu.Outcome{Kind: cpu.Blocked, Time: t}
+			}
 			next := t + period
 			if mi.Done > next {
 				next = mi.Done
@@ -366,6 +395,10 @@ func (c *replayCPU) Run(t sim.Ticks) cpu.Outcome {
 
 		case isa.CacheOp:
 			mi := c.port.CacheOp(t, in.Addr, in.Aux)
+			if mi.Pending {
+				c.pendT, c.pendIsLoad = t, false
+				return cpu.Outcome{Kind: cpu.Blocked, Time: t}
+			}
 			next := t + period
 			if mi.Done > next {
 				next = mi.Done

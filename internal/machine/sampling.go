@@ -191,6 +191,15 @@ func (c *sampledCPU) Stats() cpu.Stats {
 // into Result.Sampling).
 func (c *sampledCPU) sampling() SamplingStats { return c.meta }
 
+// Deliver implements cpu.Blocking by forwarding to the detailed inner
+// core: Blocked outcomes only originate inside detailed windows (the
+// functional path's shared-state work is all fire-and-forget).
+func (c *sampledCPU) Deliver(mi cpu.MemInfo) sim.Ticks {
+	t := c.inner.(cpu.Blocking).Deliver(mi)
+	c.lastT = t
+	return t
+}
+
 // openWindow arms the gate for the next detailed window. A schedule
 // with no functional gap (Window == Period) opens one unbounded
 // window instead: a finite gate would close at instruction-count
@@ -331,7 +340,7 @@ func (c *sampledCPU) runFunctional(t sim.Ticks) (cpu.Outcome, bool) {
 		switch {
 		case in.Op.IsMem():
 			if c.warm != nil {
-				c.warm.warmAccess(t, in)
+				c.warm.warmAccess(t, in, true)
 				c.meta.WarmTouches++
 			}
 		case in.Op.IsSync():

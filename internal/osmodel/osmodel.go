@@ -88,15 +88,20 @@ type OS struct {
 	cfg  Config
 	pt   *vm.PageTable
 	tlbs []*tlb.TLB
-	// Plain counters: one OS model belongs to one machine run (one
-	// goroutine).
-	faults   uint64 // charged cold page faults (SimOS)
-	syscalls uint64 // charged system calls (SimOS)
+	// faults is a plain scalar: cold faults are only charged on the
+	// serial fault path (the parallel phase defers any access whose page
+	// is unmapped), so exactly one goroutine ever touches it.
+	faults uint64 // charged cold page faults (SimOS)
+	// syscalls is per node: SyscallCost runs inside the parallel phase
+	// (a syscall never touches shared memory-system state), so each
+	// shard increments only its own nodes' slots. Counters sums them in
+	// node order, which is deterministic at any shard count.
+	syscalls []uint64 // charged system calls (SimOS), per node
 }
 
 // New builds the OS model over a page table for an n-CPU machine.
 func New(cfg Config, pt *vm.PageTable, procs int) *OS {
-	o := &OS{cfg: cfg, pt: pt}
+	o := &OS{cfg: cfg, pt: pt, syscalls: make([]uint64, procs)}
 	if cfg.Kind == SimOS {
 		entries := cfg.TLBEntries
 		if entries <= 0 {
@@ -147,15 +152,24 @@ func (o *OS) Translate(node int, va uint64) Translation {
 	return tr
 }
 
-// SyscallCost returns the charged CPU cycles for a system call. The
-// processor models call it exactly once per Syscall instruction, so it
-// doubles as the syscall counter.
-func (o *OS) SyscallCost(aux uint32) uint32 {
+// SyscallCost returns the charged CPU cycles for a system call on the
+// given node. The processor models call it exactly once per Syscall
+// instruction, so it doubles as the syscall counter.
+func (o *OS) SyscallCost(node int, aux uint32) uint32 {
 	if o.cfg.Kind == Solo {
 		return 0
 	}
-	o.syscalls++
+	o.syscalls[node]++
 	return o.cfg.SyscallCycles
+}
+
+// NeedsFault reports whether an access to va would map a new page (a
+// cold fault). The parallel phase uses it to decide whether to defer
+// the whole access to the serial fault path; it never mutates shared
+// state.
+func (o *OS) NeedsFault(va uint64) bool {
+	_, ok := o.pt.Lookup(va)
+	return !ok
 }
 
 // TLBMisses sums TLB misses across CPUs.
@@ -176,12 +190,18 @@ func (o *OS) TLBStats() obs.TLBCounters {
 	return c
 }
 
-// Counters returns the OS model's end-of-run counters.
+// Counters returns the OS model's end-of-run counters. Per-node
+// syscall counts are summed in node order, so the total is identical
+// at any shard count.
 func (o *OS) Counters() obs.OSCounters {
+	var sys uint64
+	for _, n := range o.syscalls {
+		sys += n
+	}
 	return obs.OSCounters{
 		PagesMapped: uint64(o.pt.Mapped()),
 		ColdFaults:  o.faults,
-		Syscalls:    o.syscalls,
+		Syscalls:    sys,
 	}
 }
 

@@ -197,6 +197,11 @@ type ConfigSpec struct {
 	// Sampling, when non-nil, enables sampled simulation with this
 	// schedule (the CLIs' -sample flag as a spec field).
 	Sampling *SamplingSpec `json:"sampling,omitempty"`
+	// Shards partitions the simulated nodes across this many host
+	// cores inside the run (the CLIs' -shards flag). An execution
+	// knob, not a model parameter: results are bit-identical at any
+	// value, so it is excluded from job deduplication and memo keys.
+	Shards int `json:"shards,omitempty"`
 	// Set is the parameter-override list, validated against the
 	// registry exactly like the CLIs' -set flags.
 	Set []param.Setting `json:"set,omitempty"`
@@ -265,6 +270,7 @@ func (c ConfigSpec) Config() (machine.Config, error) {
 	if c.Sampling != nil {
 		cfg.Sampling = c.Sampling.schedule()
 	}
+	cfg.Shards = c.Shards
 	return param.ApplySettings(cfg, c.Set)
 }
 

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"flashsim/internal/runner"
+)
+
+// TestConfigSpecShards pins the spec → config materialization of the
+// shards execution knob.
+func TestConfigSpecShards(t *testing.T) {
+	spec := ConfigSpec{Base: "simos-mipsy", Procs: 4, Shards: 4}
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shards != 4 {
+		t.Errorf("cfg.Shards = %d, want 4", cfg.Shards)
+	}
+}
+
+// TestServerShardedRunAliasesSerial submits the same workload with and
+// without shards and requires the second submission to hit the memo of
+// the first: shard count is an execution knob with bit-identical
+// results, so it must not split the dedup or memo key — and the served
+// Result must be byte-identical either way.
+func TestServerShardedRunAliasesSerial(t *testing.T) {
+	store, err := runner.NewStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := runner.New(2, store)
+	_, ts, gate := newTestServer(t, Options{Pool: pool})
+	close(gate)
+
+	sharded := []byte(`{"base":"simos-mipsy","procs":4,"shards":4,
+		"workload":{"name":"fft","logn":8}}`)
+	resp, data := postJSON(t, ts.URL+"/v1/runs?wait=true", sharded)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var first RunResponse
+	if err := json.Unmarshal(data, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Job.State != StateDone {
+		t.Fatalf("job state = %s, want done", first.Job.State)
+	}
+
+	serial := []byte(`{"base":"simos-mipsy","procs":4,
+		"workload":{"name":"fft","logn":8}}`)
+	resp, data = postJSON(t, ts.URL+"/v1/runs?wait=true", serial)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("serial submit: status %d, body %s", resp.StatusCode, data)
+	}
+	var second RunResponse
+	if err := json.Unmarshal(data, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.Job.Cached {
+		t.Error("serial submission missed the sharded run's memo: shards leaked into the run fingerprint")
+	}
+	if !reflect.DeepEqual(first.Result, second.Result) {
+		t.Errorf("sharded and serial results differ:\nsharded: %+v\nserial:  %+v", first.Result, second.Result)
+	}
+}
