@@ -257,13 +257,21 @@ func (f *Flags) Pool() (*runner.Pool, *runner.Store, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("cache: %w", err)
 	}
-	pool := runner.New(f.Jobs, store)
+	return f.PoolWith(store), store, nil
+}
+
+// PoolWith is Pool over an explicit memo backend — the seam flashd
+// uses to run the pool against a shared on-disk or distributed store
+// instead of the default in-process one. The -metrics-out wiring is
+// identical to Pool's.
+func (f *Flags) PoolWith(b runner.Backend) *runner.Pool {
+	pool := runner.New(f.Jobs, b)
 	if f.MetricsOut != "" {
 		f.collector = obs.NewCollector()
 		pool.SetMetrics(f.collector)
 	}
 	f.pool = pool
-	return pool, store, nil
+	return pool
 }
 
 // writeMetrics writes the -metrics-out report. A no-op when the flag is

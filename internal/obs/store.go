@@ -1,0 +1,74 @@
+package obs
+
+import "sync/atomic"
+
+// StoreCounters counts distributed memo-store activity: the
+// local/remote hit ladder, hedged fetches, fallbacks to local compute,
+// and ring back-fills. Unlike the per-run counters in this package —
+// plain fields, because one machine run is single-goroutine — the
+// serving tier's store is touched concurrently by every worker, so
+// these are atomics; they sit on the request path (one memo lookup per
+// job), never on the simulation hot path, so the LOCK prefix costs
+// nothing that matters.
+type StoreCounters struct {
+	// LocalHits/LocalMisses count lookups answered by (or missing
+	// from) the replica's own backend before any network is tried.
+	LocalHits   atomic.Int64
+	LocalMisses atomic.Int64
+	// RemoteHits counts results fetched from a ring peer (each one a
+	// simulation some other replica already paid for); RemoteMisses
+	// definitive not-found answers from a peer; RemoteErrors transport
+	// or validation failures (timeouts, dead peers, corrupt bodies —
+	// every one of which degrades to a recompute, never a wrong
+	// result).
+	RemoteHits   atomic.Int64
+	RemoteMisses atomic.Int64
+	RemoteErrors atomic.Int64
+	// Hedges counts second fetches launched because the first owner
+	// exceeded the latency threshold; HedgeWins how many of those
+	// hedged requests produced the winning hit.
+	Hedges    atomic.Int64
+	HedgeWins atomic.Int64
+	// Fallbacks counts misses the ring could not answer — the caller
+	// computes locally (and Put back-fills the ring).
+	Fallbacks atomic.Int64
+	// Backfills counts results written back to their ring owners;
+	// BackfillErrors failed write-backs; BackfillDrops write-backs
+	// discarded because the bounded queue was full.
+	Backfills      atomic.Int64
+	BackfillErrors atomic.Int64
+	BackfillDrops  atomic.Int64
+}
+
+// StoreSnapshot is a point-in-time copy of StoreCounters, in plain
+// fields for rendering and assertions.
+type StoreSnapshot struct {
+	LocalHits      int64
+	LocalMisses    int64
+	RemoteHits     int64
+	RemoteMisses   int64
+	RemoteErrors   int64
+	Hedges         int64
+	HedgeWins      int64
+	Fallbacks      int64
+	Backfills      int64
+	BackfillErrors int64
+	BackfillDrops  int64
+}
+
+// Snapshot copies the counters.
+func (c *StoreCounters) Snapshot() StoreSnapshot {
+	return StoreSnapshot{
+		LocalHits:      c.LocalHits.Load(),
+		LocalMisses:    c.LocalMisses.Load(),
+		RemoteHits:     c.RemoteHits.Load(),
+		RemoteMisses:   c.RemoteMisses.Load(),
+		RemoteErrors:   c.RemoteErrors.Load(),
+		Hedges:         c.Hedges.Load(),
+		HedgeWins:      c.HedgeWins.Load(),
+		Fallbacks:      c.Fallbacks.Load(),
+		Backfills:      c.Backfills.Load(),
+		BackfillErrors: c.BackfillErrors.Load(),
+		BackfillDrops:  c.BackfillDrops.Load(),
+	}
+}

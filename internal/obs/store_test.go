@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStoreCountersSnapshot(t *testing.T) {
+	var c StoreCounters
+	c.LocalHits.Add(3)
+	c.RemoteHits.Add(2)
+	c.Hedges.Add(1)
+	c.HedgeWins.Add(1)
+	c.BackfillDrops.Add(4)
+	snap := c.Snapshot()
+	if snap.LocalHits != 3 || snap.RemoteHits != 2 || snap.Hedges != 1 || snap.HedgeWins != 1 || snap.BackfillDrops != 4 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.LocalMisses != 0 || snap.Fallbacks != 0 {
+		t.Fatalf("untouched counters nonzero: %+v", snap)
+	}
+	// A snapshot is a copy: advancing the live counters does not move it.
+	c.LocalHits.Add(10)
+	if snap.LocalHits != 3 {
+		t.Fatal("snapshot aliases the live counters")
+	}
+}
+
+func TestStoreCountersConcurrent(t *testing.T) {
+	var c StoreCounters
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.LocalHits.Add(1)
+				c.Backfills.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap.LocalHits != 8000 || snap.Backfills != 8000 {
+		t.Fatalf("lost updates: %+v", snap)
+	}
+}

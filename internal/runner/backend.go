@@ -1,0 +1,140 @@
+package runner
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"flashsim/internal/machine"
+)
+
+// Backend is the memo-store seam of the run pool: anything that can
+// answer "have we computed this fingerprint before?" and remember a
+// fresh result. The pool treats a Backend exactly as it always treated
+// *Store — Get before simulating, Put after — so every execution mode
+// that worked against the in-process store works unchanged against any
+// other backend.
+//
+// Three implementations ship with the tree, forming the distribution
+// ladder of the serving tier:
+//
+//   - *Store: the in-process LRU (optionally write-through to a
+//     private -cache-dir). The single-process default; one replica of
+//     flashd with this backend is bit-identical to the daemon before
+//     the seam existed.
+//   - *DiskBackend: a shared on-disk store. No in-memory cache, every
+//     Get reads the directory — so several processes (or several flashd
+//     replicas on one host) can share a cache directory and observe
+//     each other's writes immediately.
+//   - *DistStore: the multi-replica wrapper — a local Backend fronted
+//     by a consistent-hash ring of remote peers (each reached through a
+//     PeerStore, in practice flashd's /v1/store API), with hedged
+//     fetches, health-fed membership, read-through fill, and
+//     write-back.
+//
+// Backends must be safe for concurrent use, and a Get that cannot
+// produce a complete, correct result must report a miss — the caller
+// recomputes, which is always sound. A backend never returns a partial
+// or corrupt result.
+type Backend interface {
+	Get(key string) (machine.Result, bool)
+	Put(key string, res machine.Result)
+}
+
+var (
+	_ Backend = (*Store)(nil)
+	_ Backend = (*DiskBackend)(nil)
+	_ Backend = (*DistStore)(nil)
+)
+
+// DiskBackend is the shared on-disk memo store: one JSON file per
+// fingerprint in the same <key>.json layout *Store persists (the
+// -cache-dir format), but with no in-memory copy, so every Get re-reads
+// the directory and sees writes made by other processes sharing it.
+//
+// Concurrent handles on one directory are safe: writes land via
+// temp-file + rename, so a reader observes either the complete previous
+// entry, the complete new one, or (before any write) a miss — never a
+// partial file. Concurrent Puts of one key race benignly; both bodies
+// decode to the same result, whichever rename lands last wins.
+type DiskBackend struct {
+	dir string
+
+	mu  sync.Mutex
+	err error
+}
+
+// NewDiskBackend returns a shared store rooted at dir, creating it if
+// missing.
+func NewDiskBackend(dir string) (*DiskBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DiskBackend{dir: dir}, nil
+}
+
+// Dir returns the shared directory.
+func (b *DiskBackend) Dir() string { return b.dir }
+
+func (b *DiskBackend) path(key string) string {
+	return filepath.Join(b.dir, key+".json")
+}
+
+// Get reads the entry for key from disk. Any unreadable or undecodable
+// entry — missing, truncated by a crashed writer of a non-atomic
+// filesystem, or written by an incompatible build — is a miss: the run
+// is recomputed and rewritten, never served partially.
+func (b *DiskBackend) Get(key string) (machine.Result, bool) {
+	data, err := os.ReadFile(b.path(key))
+	if err != nil {
+		return machine.Result{}, false
+	}
+	var res machine.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return machine.Result{}, false
+	}
+	return res, true
+}
+
+// Put persists res under key atomically (temp file + rename). The
+// first I/O error is retained (Err) and later Puts keep trying.
+func (b *DiskBackend) Put(key string, res machine.Result) {
+	data, err := json.Marshal(res)
+	if err == nil {
+		err = writeAtomic(b.dir, b.path(key), key, data)
+	}
+	if err != nil {
+		b.mu.Lock()
+		if b.err == nil {
+			b.err = err
+		}
+		b.mu.Unlock()
+	}
+}
+
+// Err returns the first I/O error encountered, if any.
+func (b *DiskBackend) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+// writeAtomic lands data at path via a temp file in dir and a rename,
+// so a concurrent reader never observes a partial entry.
+func writeAtomic(dir, path, key string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	return os.Rename(tmp.Name(), path)
+}

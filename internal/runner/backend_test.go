@@ -1,0 +1,246 @@
+package runner
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+)
+
+func TestDiskBackendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := b.Get("missing"); ok {
+		t.Fatal("hit on an empty directory")
+	}
+	b.Put("k1", machine.Result{Instructions: 42})
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := b.Get("k1")
+	if !ok || res.Instructions != 42 {
+		t.Fatalf("Get = (%v, %v)", res, ok)
+	}
+}
+
+// TestDiskBackendSharesAcrossHandles is the two-process story: two
+// handles on one directory (as two flashd replicas sharing a cache
+// would hold) observe each other's writes with no coordination beyond
+// the filesystem.
+func TestDiskBackendSharesAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Put("shared", machine.Result{Instructions: 7})
+	res, ok := b.Get("shared")
+	if !ok || res.Instructions != 7 {
+		t.Fatalf("second handle Get = (%v, %v)", res, ok)
+	}
+}
+
+// TestDiskBackendGarbageIsMiss pins the "never serve a partial result"
+// contract: truncated, corrupt, or non-JSON entries are misses.
+func TestDiskBackendGarbageIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated": []byte(`{"Instructions": 42`),
+		"garbage":   []byte("\x00\x01\x02 not json"),
+		"empty":     nil,
+	}
+	for key, body := range cases {
+		if err := os.WriteFile(filepath.Join(dir, key+".json"), body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := b.Get(key); ok {
+			t.Fatalf("%s entry served as a hit", key)
+		}
+	}
+	// A later Put repairs the entry.
+	b.Put("truncated", machine.Result{Instructions: 9})
+	if res, ok := b.Get("truncated"); !ok || res.Instructions != 9 {
+		t.Fatalf("repaired Get = (%v, %v)", res, ok)
+	}
+}
+
+// TestDiskBackendConcurrentHandles hammers one directory through two
+// handles under -race: interleaved Put/Get on overlapping keys must
+// never yield a wrong or partial result — every hit decodes to a value
+// some writer actually stored.
+func TestDiskBackendConcurrentHandles(t *testing.T) {
+	dir := t.TempDir()
+	a, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 16
+	var wg sync.WaitGroup
+	for w, h := range []*DiskBackend{a, b, a, b} {
+		wg.Add(1)
+		go func(w int, h *DiskBackend) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%02d", i%keys)
+				// Every writer stores the same value per key, so any
+				// winning rename is a correct read.
+				h.Put(key, machine.Result{Instructions: uint64(i % keys)})
+				if res, ok := h.Get(key); ok && res.Instructions != uint64(i%keys) {
+					t.Errorf("worker %d: key %s = %d, want %d", w, key, res.Instructions, i%keys)
+					return
+				}
+			}
+		}(w, h)
+	}
+	wg.Wait()
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// No temp-file litter survives the storm.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			t.Fatalf("leftover non-entry file %s", e.Name())
+		}
+	}
+}
+
+// TestBoundedStoreConcurrentEviction drives a byte-bounded LRU store
+// with concurrent Get/Put well past its budget under -race: hits must
+// stay correct while eviction churns, and the footprint must respect
+// the bound when the dust settles.
+func TestBoundedStoreConcurrentEviction(t *testing.T) {
+	dir := t.TempDir()
+	// Small budget: a handful of entries fit, so eviction runs
+	// constantly under the write load.
+	probe, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Put("size-probe", machine.Result{Instructions: 1})
+	store, err := NewBoundedStore(dir, 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 150; i++ {
+				key := fmt.Sprintf("g%dk%03d", g, i)
+				store.Put(key, machine.Result{Instructions: uint64(i)})
+				if res, ok := store.Get(key); ok && res.Instructions != uint64(i) {
+					t.Errorf("key %s = %d, want %d", key, res.Instructions, i)
+					return
+				}
+				// Cross-goroutine reads race with eviction on purpose.
+				other := fmt.Sprintf("g%dk%03d", (g+1)%6, i)
+				if res, ok := store.Get(other); ok && res.Instructions != uint64(i) {
+					t.Errorf("key %s = %d, want %d", other, res.Instructions, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := store.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if store.DiskBytes() > 8<<10 {
+		t.Fatalf("footprint %d exceeds the %d budget after the storm", store.DiskBytes(), 8<<10)
+	}
+	if store.Evictions() == 0 {
+		t.Fatal("no evictions under a load far past the budget")
+	}
+}
+
+// TestStoreAndDiskBackendShareFormat pins the compatibility claim in
+// the DiskBackend doc: the two backends read each other's entries, so
+// a -cache-dir can migrate between -store lru and -store disk freely.
+func TestStoreAndDiskBackendShareFormat(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put("from-store", machine.Result{Instructions: 11})
+	disk, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, ok := disk.Get("from-store"); !ok || res.Instructions != 11 {
+		t.Fatalf("DiskBackend read of Store entry = (%v, %v)", res, ok)
+	}
+	disk.Put("from-disk", machine.Result{Instructions: 22})
+	if res, ok := store.Get("from-disk"); !ok || res.Instructions != 22 {
+		t.Fatalf("Store read of DiskBackend entry = (%v, %v)", res, ok)
+	}
+}
+
+// TestPoolRunsAgainstDiskBackend closes the seam: the pool memoizes
+// through a DiskBackend exactly as through a Store, and a second pool
+// on the same directory reuses the first pool's results.
+func TestPoolRunsAgainstDiskBackend(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := New(1, disk)
+	cfg := machine.Base(1, true)
+	cfg.Name = "backend-test-machine"
+	job := Job{Config: cfg, Prog: emitter.Program{
+		Name:    "backend-test",
+		Threads: 1,
+		Body: func(th *emitter.Thread, _ any) {
+			th.Barrier(emitter.BarrierStart)
+			th.IntOps(500)
+			th.Barrier(emitter.BarrierEnd)
+		},
+	}, Seed: 5}
+	first, err := pool.Run(t.Context(), []Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk2, err := NewDiskBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool2 := New(1, disk2)
+	out := pool2.RunAll(t.Context(), []Job{job})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if !out[0].Cached {
+		t.Fatal("second pool on the shared directory recomputed")
+	}
+	if out[0].Result.Exec != first[0].Exec {
+		t.Fatalf("cached Exec %d != computed Exec %d", out[0].Result.Exec, first[0].Exec)
+	}
+}

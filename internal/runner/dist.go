@@ -1,0 +1,501 @@
+package runner
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/obs"
+)
+
+// PeerStore is one remote replica's memo store as seen by the
+// distribution layer: fetch a result by fingerprint, push one, and
+// answer a health probe. The HTTP implementation (flashd's
+// /v1/store/{fingerprint} GET/PUT and /v1/health) lives in
+// internal/serve/client; tests substitute in-memory fakes.
+//
+// Fetch must never return a corrupt or partial result: a body that
+// fails validation (CRC, schema, decode) is an error, which the
+// distribution layer degrades to a recompute.
+type PeerStore interface {
+	// Name identifies the peer in the ring (its base URL for HTTP
+	// peers). It must match the member name used in DistOptions.
+	Name() string
+	// Fetch returns the peer's result for key; ok=false with a nil
+	// error is a definitive miss.
+	Fetch(ctx context.Context, key string) (res machine.Result, ok bool, err error)
+	// Store pushes a result to the peer (a ring back-fill).
+	Store(ctx context.Context, key string, res machine.Result) error
+	// Health probes the peer; nil means up.
+	Health(ctx context.Context) error
+}
+
+// PeerStatus is the health view of one ring member.
+type PeerStatus struct {
+	Name string `json:"name"`
+	Up   bool   `json:"up"`
+	// Err is the last probe failure ("" while up).
+	Err string `json:"err,omitempty"`
+	// PolledMS is the Unix-millisecond stamp of the last probe (zero
+	// before the first).
+	PolledMS int64 `json:"polled_ms,omitempty"`
+}
+
+// DistOptions configures a DistStore.
+type DistOptions struct {
+	// Self is this replica's ring name; keys it owns are served from
+	// Local without a network hop. Required.
+	Self string
+	// Local is the backend misses fall back to and hits read through
+	// into. Required.
+	Local Backend
+	// Peers are the other ring members. The ring is Self + every
+	// peer's Name.
+	Peers []PeerStore
+	// Vnodes is the per-member virtual-node count (default
+	// DefaultVnodes).
+	Vnodes int
+	// Replicate is how many ring owners each computed result is
+	// written back to (default 1).
+	Replicate int
+	// HedgeFloor is the minimum wait before the hedged second fetch
+	// (default 25ms); the effective threshold is the p95 of observed
+	// fetch latencies clamped to [HedgeFloor, HedgeCap] (HedgeCap
+	// default 500ms).
+	HedgeFloor time.Duration
+	HedgeCap   time.Duration
+	// FetchTimeout bounds one Get's total remote work (default 2s);
+	// StoreTimeout one back-fill push (default 5s); HealthTimeout one
+	// probe (default 1s).
+	FetchTimeout  time.Duration
+	StoreTimeout  time.Duration
+	HealthTimeout time.Duration
+	// HealthEvery is the probe period feeding ring membership; <= 0
+	// disables the background poller (tests drive PollHealth
+	// directly).
+	HealthEvery time.Duration
+	// BackfillDepth bounds the asynchronous write-back queue (default
+	// 128); overflow is dropped and counted, never blocks a Put.
+	BackfillDepth int
+	// Counters receives the store metrics (one is allocated when nil).
+	Counters *obs.StoreCounters
+}
+
+// DistStore is the multi-replica memo Backend: a local backend fronted
+// by a consistent-hash ring of peers. A Get tries local first, then
+// hedged fetches from the key's ring owners (read-through: a remote
+// hit fills local); a miss everywhere falls back to the caller's local
+// compute, whose Put writes back both locally and to the key's owners
+// — so identical specs land on whichever replica already memoized the
+// result, wherever they were submitted.
+//
+// One replica with no peers degenerates to exactly its local backend
+// plus counter bookkeeping: every key is self-owned, Get never leaves
+// the process, Put back-fills nothing.
+type DistStore struct {
+	self      string
+	local     Backend
+	ring      *Ring
+	peers     map[string]PeerStore
+	c         *obs.StoreCounters
+	lat       *latWindow
+	replicate int
+
+	hedgeFloor    time.Duration
+	hedgeCap      time.Duration
+	fetchTimeout  time.Duration
+	storeTimeout  time.Duration
+	healthTimeout time.Duration
+	healthEvery   time.Duration
+
+	bfq     chan backfill
+	pending atomic.Int64
+
+	statusMu sync.Mutex
+	status   map[string]*PeerStatus
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// backfill is one queued write-back.
+type backfill struct {
+	peer PeerStore
+	key  string
+	res  machine.Result
+}
+
+// NewDistStore assembles the distribution layer and starts its
+// background work (the health poller when HealthEvery > 0, and the
+// back-fill worker). Close stops both.
+func NewDistStore(o DistOptions) *DistStore {
+	if o.Self == "" {
+		panic("runner: DistOptions.Self is required")
+	}
+	if o.Local == nil {
+		panic("runner: DistOptions.Local is required")
+	}
+	if o.Replicate <= 0 {
+		o.Replicate = 1
+	}
+	if o.HedgeFloor <= 0 {
+		o.HedgeFloor = 25 * time.Millisecond
+	}
+	if o.HedgeCap <= 0 {
+		o.HedgeCap = 500 * time.Millisecond
+	}
+	if o.FetchTimeout <= 0 {
+		o.FetchTimeout = 2 * time.Second
+	}
+	if o.StoreTimeout <= 0 {
+		o.StoreTimeout = 5 * time.Second
+	}
+	if o.HealthTimeout <= 0 {
+		o.HealthTimeout = time.Second
+	}
+	if o.BackfillDepth <= 0 {
+		o.BackfillDepth = 128
+	}
+	if o.Counters == nil {
+		o.Counters = &obs.StoreCounters{}
+	}
+	names := []string{o.Self}
+	peers := make(map[string]PeerStore, len(o.Peers))
+	status := make(map[string]*PeerStatus, len(o.Peers)+1)
+	status[o.Self] = &PeerStatus{Name: o.Self, Up: true}
+	for _, p := range o.Peers {
+		names = append(names, p.Name())
+		peers[p.Name()] = p
+		status[p.Name()] = &PeerStatus{Name: p.Name(), Up: true}
+	}
+	d := &DistStore{
+		self:          o.Self,
+		local:         o.Local,
+		ring:          NewRing(names, o.Vnodes),
+		peers:         peers,
+		c:             o.Counters,
+		lat:           &latWindow{},
+		replicate:     o.Replicate,
+		hedgeFloor:    o.HedgeFloor,
+		hedgeCap:      o.HedgeCap,
+		fetchTimeout:  o.FetchTimeout,
+		storeTimeout:  o.StoreTimeout,
+		healthTimeout: o.HealthTimeout,
+		healthEvery:   o.HealthEvery,
+		bfq:           make(chan backfill, o.BackfillDepth),
+		status:        status,
+		stop:          make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go d.backfillWorker()
+	if d.healthEvery > 0 {
+		d.wg.Add(1)
+		go d.healthLoop()
+	}
+	return d
+}
+
+// Close stops the health poller and the back-fill worker. Queued
+// back-fills that have not started are abandoned.
+func (d *DistStore) Close() {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.wg.Wait()
+}
+
+// Self returns this replica's ring name.
+func (d *DistStore) Self() string { return d.self }
+
+// Local returns the wrapped local backend.
+func (d *DistStore) Local() Backend { return d.local }
+
+// Ring returns the membership ring (live view included).
+func (d *DistStore) Ring() *Ring { return d.ring }
+
+// Counters returns the store metrics.
+func (d *DistStore) Counters() *obs.StoreCounters { return d.c }
+
+// Owners returns the live ring owners of key in preference order.
+func (d *DistStore) Owners(key string) []string {
+	return d.ring.Owners(key, d.replicate+1)
+}
+
+// Get consults local, then the key's ring owners (hedged), and fills
+// local on a remote hit. A miss everywhere means the caller computes;
+// no failure mode returns a wrong result.
+func (d *DistStore) Get(key string) (machine.Result, bool) {
+	if res, ok := d.local.Get(key); ok {
+		d.c.LocalHits.Add(1)
+		return res, true
+	}
+	d.c.LocalMisses.Add(1)
+	var owners []PeerStore
+	for _, name := range d.ring.Owners(key, d.replicate+1) {
+		if name == d.self {
+			continue
+		}
+		if p, ok := d.peers[name]; ok {
+			owners = append(owners, p)
+		}
+	}
+	if len(owners) > 2 {
+		owners = owners[:2]
+	}
+	if len(owners) == 0 {
+		// Either we are the sole live owner (the miss is authoritative)
+		// or the ring is empty; compute locally.
+		d.c.Fallbacks.Add(1)
+		return machine.Result{}, false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d.fetchTimeout)
+	defer cancel()
+	if res, ok := d.hedgedFetch(ctx, key, owners); ok {
+		d.c.RemoteHits.Add(1)
+		d.local.Put(key, res) // read-through fill
+		return res, true
+	}
+	d.c.Fallbacks.Add(1)
+	return machine.Result{}, false
+}
+
+// hedgedFetch asks owners for key in preference order: the first
+// immediately, the next when the one before it errors, misses, or
+// outlives the hedge threshold. The first complete hit wins.
+func (d *DistStore) hedgedFetch(ctx context.Context, key string, owners []PeerStore) (machine.Result, bool) {
+	type reply struct {
+		res    machine.Result
+		ok     bool
+		err    error
+		hedged bool
+	}
+	replies := make(chan reply, len(owners))
+	launch := func(i int, hedged bool) {
+		p := owners[i]
+		go func() {
+			t0 := time.Now()
+			res, ok, err := p.Fetch(ctx, key)
+			if err == nil {
+				d.lat.observe(time.Since(t0))
+			}
+			replies <- reply{res: res, ok: ok, err: err, hedged: hedged}
+		}()
+	}
+	launch(0, false)
+	next, outstanding := 1, 1
+	hedge := time.NewTimer(d.hedgeDelay())
+	defer hedge.Stop()
+	for outstanding > 0 {
+		select {
+		case r := <-replies:
+			outstanding--
+			if r.err == nil && r.ok {
+				if r.hedged {
+					d.c.HedgeWins.Add(1)
+				}
+				return r.res, true
+			}
+			if r.err != nil {
+				d.c.RemoteErrors.Add(1)
+			} else {
+				d.c.RemoteMisses.Add(1)
+			}
+			if next < len(owners) {
+				launch(next, false)
+				next++
+				outstanding++
+			}
+		case <-hedge.C:
+			if next < len(owners) {
+				d.c.Hedges.Add(1)
+				launch(next, true)
+				next++
+				outstanding++
+			}
+		case <-ctx.Done():
+			return machine.Result{}, false
+		}
+	}
+	return machine.Result{}, false
+}
+
+// hedgeDelay is the wait before the second fetch: the p95 of recent
+// fetch latencies, clamped to [hedgeFloor, hedgeCap]. Before enough
+// samples exist the floor applies.
+func (d *DistStore) hedgeDelay() time.Duration {
+	p95, ok := d.lat.percentile(0.95)
+	if !ok || p95 < d.hedgeFloor {
+		return d.hedgeFloor
+	}
+	if p95 > d.hedgeCap {
+		return d.hedgeCap
+	}
+	return p95
+}
+
+// Put memoizes locally, then enqueues write-backs to the key's ring
+// owners (excluding self) so the next asker anywhere in the ring finds
+// it where routing looks first.
+func (d *DistStore) Put(key string, res machine.Result) {
+	d.local.Put(key, res)
+	for _, name := range d.ring.Owners(key, d.replicate) {
+		if name == d.self {
+			continue
+		}
+		p, ok := d.peers[name]
+		if !ok {
+			continue
+		}
+		d.pending.Add(1)
+		select {
+		case d.bfq <- backfill{peer: p, key: key, res: res}:
+		default:
+			d.pending.Add(-1)
+			d.c.BackfillDrops.Add(1)
+		}
+	}
+}
+
+// backfillWorker drains the write-back queue until Close.
+func (d *DistStore) backfillWorker() {
+	defer d.wg.Done()
+	for {
+		select {
+		case bf := <-d.bfq:
+			ctx, cancel := context.WithTimeout(context.Background(), d.storeTimeout)
+			err := bf.peer.Store(ctx, bf.key, bf.res)
+			cancel()
+			if err != nil {
+				d.c.BackfillErrors.Add(1)
+			} else {
+				d.c.Backfills.Add(1)
+			}
+			d.pending.Add(-1)
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// Flush waits until every enqueued back-fill has been attempted or ctx
+// ends. Smoke tests and drains use it so "computed on A" reliably
+// implies "stored on A's owner" before the next request lands.
+func (d *DistStore) Flush(ctx context.Context) error {
+	for d.pending.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	return nil
+}
+
+// healthLoop polls peers every healthEvery until Close.
+func (d *DistStore) healthLoop() {
+	defer d.wg.Done()
+	tick := time.NewTicker(d.healthEvery)
+	defer tick.Stop()
+	d.PollHealth()
+	for {
+		select {
+		case <-tick.C:
+			d.PollHealth()
+		case <-d.stop:
+			return
+		}
+	}
+}
+
+// PollHealth probes every peer once (concurrently, each under
+// HealthTimeout) and feeds the up/down outcomes into ring membership.
+// The background poller calls it on its period; tests call it
+// directly.
+func (d *DistStore) PollHealth() {
+	var wg sync.WaitGroup
+	for name, p := range d.peers {
+		wg.Add(1)
+		go func(name string, p PeerStore) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), d.healthTimeout)
+			err := p.Health(ctx)
+			cancel()
+			d.setPeerHealth(name, err)
+		}(name, p)
+	}
+	wg.Wait()
+}
+
+// setPeerHealth records one probe outcome and updates the ring.
+func (d *DistStore) setPeerHealth(name string, err error) {
+	up := err == nil
+	d.statusMu.Lock()
+	st := d.status[name]
+	if st != nil {
+		st.Up = up
+		st.Err = ""
+		if err != nil {
+			st.Err = err.Error()
+		}
+		st.PolledMS = time.Now().UnixMilli()
+	}
+	d.statusMu.Unlock()
+	d.ring.SetLive(name, up)
+}
+
+// PeerHealth returns the current health view, self first, peers in
+// name order.
+func (d *DistStore) PeerHealth() []PeerStatus {
+	d.statusMu.Lock()
+	defer d.statusMu.Unlock()
+	out := make([]PeerStatus, 0, len(d.status))
+	for _, st := range d.status {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if (out[i].Name == d.self) != (out[j].Name == d.self) {
+			return out[i].Name == d.self
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// latWindow is a bounded sliding window of fetch latencies for the
+// hedge-threshold percentile.
+type latWindow struct {
+	mu      sync.Mutex
+	samples [128]time.Duration
+	n       int // filled entries
+	idx     int // next write position
+}
+
+// observe records one successful fetch's latency.
+func (w *latWindow) observe(d time.Duration) {
+	w.mu.Lock()
+	w.samples[w.idx] = d
+	w.idx = (w.idx + 1) % len(w.samples)
+	if w.n < len(w.samples) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// percentile returns the p-quantile of the window; ok is false before
+// eight samples exist (too little signal to beat the configured
+// floor).
+func (w *latWindow) percentile(p float64) (time.Duration, bool) {
+	w.mu.Lock()
+	n := w.n
+	buf := make([]time.Duration, n)
+	copy(buf, w.samples[:n])
+	w.mu.Unlock()
+	if n < 8 {
+		return 0, false
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	i := int(p * float64(n-1))
+	return buf[i], true
+}

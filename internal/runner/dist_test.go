@@ -1,0 +1,384 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/obs"
+)
+
+// fakePeer is an in-memory PeerStore with injectable latency and
+// failure, standing in for a remote flashd replica.
+type fakePeer struct {
+	name string
+
+	mu      sync.Mutex
+	data    map[string]machine.Result
+	delay   time.Duration
+	fail    error // returned by Fetch/Store when set
+	down    error // returned by Health when set
+	fetches int
+	stores  int
+}
+
+func newFakePeer(name string) *fakePeer {
+	return &fakePeer{name: name, data: make(map[string]machine.Result)}
+}
+
+func (p *fakePeer) Name() string { return p.name }
+
+func (p *fakePeer) Fetch(ctx context.Context, key string) (machine.Result, bool, error) {
+	p.mu.Lock()
+	p.fetches++
+	delay, fail := p.delay, p.fail
+	res, ok := p.data[key]
+	p.mu.Unlock()
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return machine.Result{}, false, ctx.Err()
+		}
+	}
+	if fail != nil {
+		return machine.Result{}, false, fail
+	}
+	return res, ok, nil
+}
+
+func (p *fakePeer) Store(ctx context.Context, key string, res machine.Result) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stores++
+	if p.fail != nil {
+		return p.fail
+	}
+	p.data[key] = res
+	return nil
+}
+
+func (p *fakePeer) Health(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down
+}
+
+func (p *fakePeer) set(key string, res machine.Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.data[key] = res
+}
+
+func (p *fakePeer) has(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.data[key]
+	return ok
+}
+
+func (p *fakePeer) setDelay(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.delay = d
+}
+
+func (p *fakePeer) setFail(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.fail = err
+}
+
+func (p *fakePeer) setDown(err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down = err
+}
+
+// distFixture builds a DistStore named "self" over the given fakes,
+// with test-friendly timings (tiny hedge floor, no background poller).
+func distFixture(t *testing.T, peers ...*fakePeer) (*DistStore, *Store, *obs.StoreCounters) {
+	t.Helper()
+	local, err := NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]PeerStore, len(peers))
+	for i, p := range peers {
+		ps[i] = p
+	}
+	c := &obs.StoreCounters{}
+	d := NewDistStore(DistOptions{
+		Self:       "self",
+		Local:      local,
+		Peers:      ps,
+		Vnodes:     16,
+		HedgeFloor: 5 * time.Millisecond,
+		Counters:   c,
+	})
+	t.Cleanup(d.Close)
+	return d, local, c
+}
+
+// keyOwnedBy finds a key whose primary owner is the wanted member —
+// the fingerprint space is dense enough that a linear probe always
+// lands quickly.
+func keyOwnedBy(t *testing.T, d *DistStore, want string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15+7)
+		if d.Ring().Owner(key) == want {
+			return key
+		}
+	}
+	t.Fatalf("no key owned by %s in 10000 probes", want)
+	return ""
+}
+
+func TestDistStoreNoPeersIsLocal(t *testing.T) {
+	d, local, c := distFixture(t)
+	key := "00deadbeef00deadbeef"
+	if _, ok := d.Get(key); ok {
+		t.Fatal("empty store hit")
+	}
+	d.Put(key, machine.Result{Instructions: 7})
+	if res, ok := d.Get(key); !ok || res.Instructions != 7 {
+		t.Fatalf("Get after Put = (%v, %v)", res, ok)
+	}
+	if n := local.Len(); n != 1 {
+		t.Fatalf("local entries = %d, want 1", n)
+	}
+	snap := c.Snapshot()
+	if snap.RemoteHits != 0 || snap.RemoteMisses != 0 || snap.Backfills != 0 {
+		t.Fatalf("peerless store did network work: %+v", snap)
+	}
+}
+
+func TestDistStoreRemoteHitReadsThrough(t *testing.T) {
+	peer := newFakePeer("peerA")
+	d, local, c := distFixture(t, peer)
+	key := keyOwnedBy(t, d, "peerA")
+	want := machine.Result{Instructions: 1234}
+	peer.set(key, want)
+
+	res, ok := d.Get(key)
+	if !ok || res.Instructions != want.Instructions {
+		t.Fatalf("Get = (%v, %v), want remote hit", res, ok)
+	}
+	// Read-through: the hit landed in the local backend, so the next
+	// Get never leaves the process.
+	if _, ok := local.Get(key); !ok {
+		t.Fatal("remote hit did not fill the local backend")
+	}
+	before := c.Snapshot().RemoteHits
+	if _, ok := d.Get(key); !ok {
+		t.Fatal("second Get missed")
+	}
+	if c.Snapshot().RemoteHits != before {
+		t.Fatal("second Get went remote despite the read-through fill")
+	}
+}
+
+func TestDistStorePutBacksFillOwners(t *testing.T) {
+	peer := newFakePeer("peerA")
+	d, _, c := distFixture(t, peer)
+	key := keyOwnedBy(t, d, "peerA")
+	d.Put(key, machine.Result{Instructions: 55})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if !peer.has(key) {
+		t.Fatal("owner never received the back-fill")
+	}
+	if got := c.Snapshot().Backfills; got != 1 {
+		t.Fatalf("Backfills = %d, want 1", got)
+	}
+
+	// A self-owned key back-fills nothing.
+	selfKey := keyOwnedBy(t, d, "self")
+	base := peer.stores
+	d.Put(selfKey, machine.Result{Instructions: 56})
+	if err := d.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	peer.mu.Lock()
+	after := peer.stores
+	peer.mu.Unlock()
+	if after != base {
+		t.Fatal("self-owned Put pushed to a peer")
+	}
+}
+
+func TestDistStoreHedgesSlowOwner(t *testing.T) {
+	slow := newFakePeer("peerA")
+	fast := newFakePeer("peerB")
+	d, _, c := distFixture(t, slow, fast)
+	key := keyOwnedBy(t, d, "peerA")
+	want := machine.Result{Instructions: 99}
+	slow.set(key, want)
+	fast.set(key, want)
+	// The primary owner stalls far past the 5ms hedge floor; the hedge
+	// to the next owner must win.
+	slow.setDelay(300 * time.Millisecond)
+
+	start := time.Now()
+	res, ok := d.Get(key)
+	if !ok || res.Instructions != 99 {
+		t.Fatalf("Get = (%v, %v), want hedged hit", res, ok)
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("hedged Get took %s; it waited out the slow owner", elapsed)
+	}
+	snap := c.Snapshot()
+	if snap.Hedges != 1 || snap.HedgeWins != 1 {
+		t.Fatalf("Hedges=%d HedgeWins=%d, want 1/1", snap.Hedges, snap.HedgeWins)
+	}
+}
+
+func TestDistStoreDeadOwnerAdvances(t *testing.T) {
+	dead := newFakePeer("peerA")
+	alive := newFakePeer("peerB")
+	d, _, c := distFixture(t, dead, alive)
+	key := keyOwnedBy(t, d, "peerA")
+	want := machine.Result{Instructions: 77}
+	alive.set(key, want)
+	dead.setFail(errors.New("connection refused"))
+
+	res, ok := d.Get(key)
+	if !ok || res.Instructions != 77 {
+		t.Fatalf("Get = (%v, %v), want next-owner hit", res, ok)
+	}
+	snap := c.Snapshot()
+	if snap.RemoteErrors == 0 {
+		t.Fatal("dead owner's error went uncounted")
+	}
+}
+
+func TestDistStoreAllMissFallsBack(t *testing.T) {
+	a := newFakePeer("peerA")
+	b := newFakePeer("peerB")
+	d, _, c := distFixture(t, a, b)
+	key := keyOwnedBy(t, d, "peerA")
+	if _, ok := d.Get(key); ok {
+		t.Fatal("hit on a key nobody holds")
+	}
+	snap := c.Snapshot()
+	if snap.Fallbacks != 1 {
+		t.Fatalf("Fallbacks = %d, want 1", snap.Fallbacks)
+	}
+	if snap.RemoteMisses == 0 {
+		t.Fatal("owner misses went uncounted")
+	}
+}
+
+func TestDistStoreHealthDownRemaps(t *testing.T) {
+	a := newFakePeer("peerA")
+	b := newFakePeer("peerB")
+	d, _, _ := distFixture(t, a, b)
+	key := keyOwnedBy(t, d, "peerA")
+	a.setDown(errors.New("probe timeout"))
+	d.PollHealth()
+	if d.Ring().IsLive("peerA") {
+		t.Fatal("failed probe left the member live")
+	}
+	if owner := d.Ring().Owner(key); owner == "peerA" {
+		t.Fatal("down member still owns keys")
+	}
+	// The health view reports the outage; self stays first.
+	sts := d.PeerHealth()
+	if sts[0].Name != "self" || !sts[0].Up {
+		t.Fatalf("health view = %+v, want self first and up", sts)
+	}
+	found := false
+	for _, st := range sts {
+		if st.Name == "peerA" {
+			found = true
+			if st.Up || st.Err == "" {
+				t.Fatalf("peerA health = %+v, want down with an error", st)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("peerA missing from the health view")
+	}
+	// Recovery restores membership.
+	a.setDown(nil)
+	d.PollHealth()
+	if !d.Ring().IsLive("peerA") {
+		t.Fatal("recovered member still down")
+	}
+}
+
+func TestDistStoreGetSkipsDownOwner(t *testing.T) {
+	a := newFakePeer("peerA")
+	b := newFakePeer("peerB")
+	d, _, c := distFixture(t, a, b)
+	key := keyOwnedBy(t, d, "peerA")
+	want := machine.Result{Instructions: 31}
+	b.set(key, want)
+	// peerA is marked down by health; the fetch must not even try it.
+	a.setDown(errors.New("dead"))
+	a.setFail(errors.New("dead"))
+	d.PollHealth()
+	res, ok := d.Get(key)
+	if !ok || res.Instructions != 31 {
+		t.Fatalf("Get = (%v, %v), want hit from the surviving owner", res, ok)
+	}
+	if got := c.Snapshot().RemoteErrors; got != 0 {
+		t.Fatalf("RemoteErrors = %d; the down owner was contacted", got)
+	}
+}
+
+func TestDistStoreConcurrentAccess(t *testing.T) {
+	peer := newFakePeer("peerA")
+	d, _, _ := distFixture(t, peer)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("%016x", uint64(g*1000+i))
+				d.Put(key, machine.Result{Instructions: uint64(i)})
+				d.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatWindowPercentile(t *testing.T) {
+	w := &latWindow{}
+	if _, ok := w.percentile(0.95); ok {
+		t.Fatal("percentile reported ok with no samples")
+	}
+	for i := 1; i <= 100; i++ {
+		w.observe(time.Duration(i) * time.Millisecond)
+	}
+	p95, ok := w.percentile(0.95)
+	if !ok {
+		t.Fatal("percentile not ok after 100 samples")
+	}
+	if p95 < 90*time.Millisecond || p95 > 100*time.Millisecond {
+		t.Fatalf("p95 = %s, want ~95ms", p95)
+	}
+	// The window is bounded: ancient samples roll off.
+	for i := 0; i < 128; i++ {
+		w.observe(time.Millisecond)
+	}
+	p95, _ = w.percentile(0.95)
+	if p95 != time.Millisecond {
+		t.Fatalf("p95 after rollover = %s, want 1ms", p95)
+	}
+}

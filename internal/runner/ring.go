@@ -1,0 +1,192 @@
+package runner
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring over memo fingerprints: it maps every
+// key (a runner.Fingerprint — shards-blind and schema-versioned, so
+// semantically identical runs route identically) to an ordered list of
+// owning replicas. Each member contributes vnodes points hashed from
+// its name, so ownership is a pure function of the live membership —
+// independent of insertion order, map iteration, or process restarts —
+// and removing one of N members remaps only the ~1/N of keys the
+// departed member owned, leaving every other key's owner untouched.
+//
+// Membership is two-level: members are fixed at construction (the
+// -peers list), and each is live or down (the health view). Only live
+// members own keys; flipping a member down is exactly equivalent to
+// removing it from a smaller ring.
+//
+// A Ring is safe for concurrent use. Lookups take a read lock over a
+// prebuilt sorted point list; membership flips rebuild the list.
+type Ring struct {
+	vnodes int
+	names  []string // all members, sorted, fixed at construction
+
+	mu     sync.RWMutex
+	live   map[string]bool
+	points []ringPoint // live members only, sorted by (hash, name, idx)
+}
+
+// ringPoint is one virtual node.
+type ringPoint struct {
+	h    uint64
+	name string
+	idx  int
+}
+
+// DefaultVnodes is the per-member virtual-node count a Ring resolves a
+// non-positive vnodes argument to: enough points that the owner
+// distribution is within a few tens of percent of uniform, cheap
+// enough that membership flips rebuild in microseconds.
+const DefaultVnodes = 64
+
+// NewRing returns a ring over the given member names (deduplicated,
+// order-insensitive), all initially live. vnodes <= 0 selects
+// DefaultVnodes.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(names))
+	uniq := make([]string, 0, len(names))
+	for _, n := range names {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		uniq = append(uniq, n)
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, names: uniq, live: make(map[string]bool, len(uniq))}
+	for _, n := range uniq {
+		r.live[n] = true
+	}
+	r.rebuild()
+	return r
+}
+
+// rebuild regenerates the sorted point list from the live set. Caller
+// holds mu (or has exclusive access during construction). Iteration is
+// over the sorted name list, never the map, and ties are broken by
+// (name, idx), so the list — and therefore every ownership decision —
+// is identical in every process that agrees on the live membership.
+func (r *Ring) rebuild() {
+	pts := make([]ringPoint, 0, len(r.names)*r.vnodes)
+	for _, n := range r.names {
+		if !r.live[n] {
+			continue
+		}
+		for i := 0; i < r.vnodes; i++ {
+			pts = append(pts, ringPoint{h: pointHash(n, i), name: n, idx: i})
+		}
+	}
+	sort.Slice(pts, func(a, b int) bool {
+		if pts[a].h != pts[b].h {
+			return pts[a].h < pts[b].h
+		}
+		if pts[a].name != pts[b].name {
+			return pts[a].name < pts[b].name
+		}
+		return pts[a].idx < pts[b].idx
+	})
+	r.points = pts
+}
+
+// pointHash positions virtual node i of a member on the ring.
+func pointHash(name string, i int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	h.Write([]byte{'#'})
+	h.Write([]byte(strconv.Itoa(i)))
+	return h.Sum64()
+}
+
+// keyHash positions a fingerprint on the ring.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Owners returns up to n distinct live members owning key, in
+// preference order: the first point at or clockwise of the key's hash,
+// then the next distinct members encountered walking clockwise. Fewer
+// than n live members returns all of them; an empty ring returns nil.
+func (r *Ring) Owners(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	kh := keyHash(key)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= kh })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.name] {
+			continue
+		}
+		seen[p.name] = true
+		owners = append(owners, p.name)
+	}
+	return owners
+}
+
+// Owner returns the primary owner of key ("" on an empty ring).
+func (r *Ring) Owner(key string) string {
+	o := r.Owners(key, 1)
+	if len(o) == 0 {
+		return ""
+	}
+	return o[0]
+}
+
+// SetLive flips one member's liveness and reports whether the state
+// changed (unknown names are ignored and report false).
+func (r *Ring) SetLive(name string, up bool) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.live[name]
+	if !ok || cur == up {
+		return false
+	}
+	r.live[name] = up
+	r.rebuild()
+	return true
+}
+
+// IsLive reports one member's liveness.
+func (r *Ring) IsLive(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.live[name]
+}
+
+// Members returns every member name in sorted order.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.names))
+	copy(out, r.names)
+	return out
+}
+
+// LiveMembers returns the live member names in sorted order.
+func (r *Ring) LiveMembers() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.names))
+	for _, n := range r.names {
+		if r.live[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}

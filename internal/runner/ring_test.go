@@ -1,0 +1,246 @@
+package runner
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ringMembers builds n distinct replica names shaped like the real
+// ones (base URLs).
+func ringMembers(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://127.0.0.1:%d", 8100+i)
+	}
+	return names
+}
+
+// ringKeys builds deterministic fingerprint-shaped keys.
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", uint64(i)*0x9e3779b97f4a7c15+1)
+	}
+	return keys
+}
+
+func TestRingOwnerIsAlwaysLive(t *testing.T) {
+	r := NewRing(ringMembers(5), 0)
+	r.SetLive("http://127.0.0.1:8102", false)
+	r.SetLive("http://127.0.0.1:8104", false)
+	live := map[string]bool{}
+	for _, m := range r.LiveMembers() {
+		live[m] = true
+	}
+	for _, key := range ringKeys(500) {
+		for _, o := range r.Owners(key, 3) {
+			if !live[o] {
+				t.Fatalf("key %s owned by down member %s", key, o)
+			}
+		}
+	}
+}
+
+func TestRingOwnersDistinctAndBounded(t *testing.T) {
+	r := NewRing(ringMembers(3), 0)
+	for _, key := range ringKeys(200) {
+		owners := r.Owners(key, 5)
+		if len(owners) != 3 {
+			t.Fatalf("asked for 5 owners of %d live members, got %d", 3, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner %s for key %s", o, key)
+			}
+			seen[o] = true
+		}
+	}
+}
+
+// TestRingConstructionOrderInsensitive pins the "stable across process
+// restarts" property: ownership must be a pure function of the member
+// set, not of slice order or map iteration. Ten shuffled constructions
+// must agree on every key.
+func TestRingConstructionOrderInsensitive(t *testing.T) {
+	members := ringMembers(7)
+	keys := ringKeys(300)
+	ref := NewRing(members, 0)
+	want := make([]string, len(keys))
+	for i, k := range keys {
+		want[i] = ref.Owner(k)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, 0)
+		for i, k := range keys {
+			if got := r.Owner(k); got != want[i] {
+				t.Fatalf("trial %d: key %s owner %s, reference says %s", trial, k, got, want[i])
+			}
+		}
+	}
+}
+
+// TestRingRemovalRemapsOnlyDepartedKeys pins the consistency property:
+// taking one of N members down must remap exactly the keys that member
+// owned — every other key keeps its owner — and the remapped share must
+// be in the ~1/N ballpark, not a wholesale reshuffle.
+func TestRingRemovalRemapsOnlyDepartedKeys(t *testing.T) {
+	const n = 5
+	members := ringMembers(n)
+	keys := ringKeys(2000)
+	r := NewRing(members, 0)
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Owner(k)
+	}
+	victim := members[2]
+	r.SetLive(victim, false)
+	moved := 0
+	for i, k := range keys {
+		after := r.Owner(k)
+		if before[i] == victim {
+			if after == victim {
+				t.Fatalf("key %s still owned by down member", k)
+			}
+			moved++
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("key %s moved %s -> %s though its owner stayed live", k, before[i], after)
+		}
+	}
+	// The down member owned roughly 1/N of the keys; allow a generous
+	// 2x spread for vnode placement variance.
+	if max := 2 * len(keys) / n; moved > max {
+		t.Fatalf("removal remapped %d of %d keys (> %d, ~2/N)", moved, len(keys), max)
+	}
+	if moved == 0 {
+		t.Fatalf("removal remapped nothing; the victim owned no keys, which vnodes should make implausible")
+	}
+	// Restoring the member restores the exact prior ownership.
+	r.SetLive(victim, true)
+	for i, k := range keys {
+		if got := r.Owner(k); got != before[i] {
+			t.Fatalf("after restore, key %s owner %s, want %s", k, got, before[i])
+		}
+	}
+}
+
+func TestRingEmptyAndSingle(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner("abc"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if got := r.Owners("abc", 3); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+	one := NewRing([]string{"http://a"}, 0)
+	for _, k := range ringKeys(50) {
+		if got := one.Owner(k); got != "http://a" {
+			t.Fatalf("single-member ring owner = %q", got)
+		}
+	}
+	// All members down behaves like an empty ring.
+	one.SetLive("http://a", false)
+	if got := one.Owner("abc"); got != "" {
+		t.Fatalf("all-down ring owner = %q, want empty", got)
+	}
+}
+
+func TestRingDedupesAndIgnoresUnknown(t *testing.T) {
+	r := NewRing([]string{"http://a", "http://b", "http://a", ""}, 0)
+	if got := len(r.Members()); got != 2 {
+		t.Fatalf("members = %v, want 2 distinct", r.Members())
+	}
+	if r.SetLive("http://nope", false) {
+		t.Fatal("SetLive on unknown member reported a change")
+	}
+	if r.SetLive("http://a", true) {
+		t.Fatal("SetLive to the current state reported a change")
+	}
+	if !r.SetLive("http://a", false) {
+		t.Fatal("SetLive flipping a member down reported no change")
+	}
+}
+
+// FuzzRing checks the core invariants on arbitrary membership/key
+// inputs: owners are live members, distinct, capped by the live count,
+// and construction-order independent.
+func FuzzRing(f *testing.F) {
+	f.Add("a,b,c", "deadbeef", uint8(2), uint8(3))
+	f.Add("x", "k", uint8(0), uint8(1))
+	f.Add("n0,n1,n2,n3,n4,n5,n6,n7", "0123456789abcdef", uint8(5), uint8(4))
+	f.Fuzz(func(t *testing.T, memberCSV, key string, downMask, nOwners uint8) {
+		var members []string
+		start := 0
+		for i := 0; i <= len(memberCSV); i++ {
+			if i == len(memberCSV) || memberCSV[i] == ',' {
+				if i > start {
+					members = append(members, memberCSV[start:i])
+				}
+				start = i + 1
+			}
+		}
+		if len(members) > 8 {
+			members = members[:8]
+		}
+		r := NewRing(members, 8)
+		canonical := r.Members()
+		for i, m := range canonical {
+			if downMask&(1<<uint(i)) != 0 {
+				r.SetLive(m, false)
+			}
+		}
+		live := map[string]bool{}
+		for _, m := range r.LiveMembers() {
+			live[m] = true
+		}
+		n := int(nOwners % 9)
+		owners := r.Owners(key, n)
+		if n == 0 && owners != nil {
+			t.Fatalf("Owners(key, 0) = %v, want nil", owners)
+		}
+		want := n
+		if len(live) < want {
+			want = len(live)
+		}
+		if n > 0 && len(owners) != want {
+			t.Fatalf("got %d owners, want %d (live %d, asked %d)", len(owners), want, len(live), n)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if !live[o] {
+				t.Fatalf("owner %q is not live", o)
+			}
+			if seen[o] {
+				t.Fatalf("duplicate owner %q", o)
+			}
+			seen[o] = true
+		}
+		// Rebuild from reversed member order with the same down set:
+		// ownership must be identical.
+		rev := make([]string, len(members))
+		for i, m := range members {
+			rev[len(members)-1-i] = m
+		}
+		r2 := NewRing(rev, 8)
+		for i, m := range canonical {
+			if downMask&(1<<uint(i)) != 0 {
+				r2.SetLive(m, false)
+			}
+		}
+		owners2 := r2.Owners(key, n)
+		if len(owners) != len(owners2) {
+			t.Fatalf("order-dependent owner count: %v vs %v", owners, owners2)
+		}
+		for i := range owners {
+			if owners[i] != owners2[i] {
+				t.Fatalf("order-dependent ownership: %v vs %v", owners, owners2)
+			}
+		}
+	})
+}

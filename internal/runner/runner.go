@@ -113,7 +113,7 @@ func DefaultWorkers() int { return defaultWorkers }
 // race detector.
 type Pool struct {
 	workers int
-	store   *Store
+	store   Backend
 	metrics *obs.Collector
 	// sem bounds the concurrency of single-job submissions (RunOne) at
 	// the pool's worker count; batch submissions (RunAll) bound
@@ -129,9 +129,10 @@ type Pool struct {
 }
 
 // New returns a pool with the given concurrency. workers <= 0 selects
-// DefaultWorkers; workers == 1 is strictly serial. store may be nil to
-// disable memoization.
-func New(workers int, store *Store) *Pool {
+// DefaultWorkers; workers == 1 is strictly serial. store is any memo
+// Backend — the in-process *Store, the shared *DiskBackend, or a
+// multi-replica *DistStore — and may be nil to disable memoization.
+func New(workers int, store Backend) *Pool {
 	if workers <= 0 {
 		workers = defaultWorkers
 	}
@@ -146,8 +147,8 @@ func Serial() *Pool { return New(1, nil) }
 // Workers returns the pool's concurrency.
 func (p *Pool) Workers() int { return p.workers }
 
-// Store returns the pool's memoization store (nil if none).
-func (p *Pool) Store() *Store { return p.store }
+// Store returns the pool's memoization backend (nil if none).
+func (p *Pool) Store() Backend { return p.store }
 
 // SetMetrics attaches a collector that receives every successful
 // outcome's RunMetrics — fresh runs and cache hits alike, so the report

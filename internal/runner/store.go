@@ -3,7 +3,6 @@ package runner
 import (
 	"container/list"
 	"encoding/json"
-	"errors"
 	"os"
 	"path/filepath"
 	"sort"
@@ -245,17 +244,7 @@ func (s *Store) evict() {
 // writeFile persists one entry atomically (temp file + rename), so a
 // concurrent reader never observes a partial entry.
 func (s *Store) writeFile(key string, data []byte) error {
-	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
-	if err != nil {
-		return err
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return errors.Join(werr, cerr)
-	}
-	return os.Rename(tmp.Name(), s.path(key))
+	return writeAtomic(s.dir, s.path(key), key, data)
 }
 
 // Len returns the number of in-memory entries.

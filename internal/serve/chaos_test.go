@@ -1,0 +1,415 @@
+// Fault-injection suite for the distributed serving tier: a chaos
+// proxy sits between a DistStore's HTTP peer client and a real replica
+// and misbehaves on command — refusing connections, stalling past the
+// hedge threshold, truncating bodies mid-flight, corrupting payloads.
+// The invariants under every failure: the caller always ends up with a
+// correct result (remote hit or recompute fallback — bit-identical
+// either way), and a corrupt body is never served as data.
+//
+// This file is an external test (package serve_test) because it needs
+// both serve and serve/client, and client imports serve.
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flashsim/internal/emitter"
+	"flashsim/internal/machine"
+	"flashsim/internal/obs"
+	"flashsim/internal/runner"
+	"flashsim/internal/serve"
+	"flashsim/internal/serve/client"
+)
+
+// chaos modes.
+const (
+	chaosOK       = "ok"       // transparent passthrough
+	chaosRefuse   = "refuse"   // abort every connection (a dead replica)
+	chaosDelay    = "delay"    // stall well past the hedge threshold, then pass through
+	chaosTruncate = "truncate" // forward half the body, then cut the connection
+	chaosCorrupt  = "corrupt"  // flip result content so the CRC cannot match
+)
+
+// chaosProxy forwards requests to a target replica, misbehaving per
+// its current mode. Mode flips are safe mid-traffic.
+type chaosProxy struct {
+	target string
+	mode   atomic.Value
+	delay  time.Duration
+	ts     *httptest.Server
+	// requests counts arrivals per mode, for assertions that a path
+	// was actually exercised.
+	mu   sync.Mutex
+	hits map[string]int
+}
+
+func newChaosProxy(t *testing.T, target string) *chaosProxy {
+	t.Helper()
+	p := &chaosProxy{target: target, delay: 400 * time.Millisecond, hits: make(map[string]int)}
+	p.mode.Store(chaosOK)
+	p.ts = httptest.NewServer(http.HandlerFunc(p.serveHTTP))
+	t.Cleanup(p.ts.Close)
+	return p
+}
+
+func (p *chaosProxy) URL() string { return p.ts.URL }
+
+func (p *chaosProxy) set(mode string) { p.mode.Store(mode) }
+
+func (p *chaosProxy) count(mode string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits[mode]
+}
+
+func (p *chaosProxy) serveHTTP(w http.ResponseWriter, r *http.Request) {
+	mode := p.mode.Load().(string)
+	p.mu.Lock()
+	p.hits[mode]++
+	p.mu.Unlock()
+	switch mode {
+	case chaosRefuse:
+		panic(http.ErrAbortHandler)
+	case chaosDelay:
+		select {
+		case <-time.After(p.delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.target+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadGateway)
+		return
+	}
+	switch mode {
+	case chaosTruncate:
+		// Promise the full length, deliver half, kill the connection:
+		// the reader sees an unexpected EOF mid-body, exactly what a
+		// replica dying mid-response produces.
+		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+		w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+		panic(http.ErrAbortHandler)
+	case chaosCorrupt:
+		// Perturb the result content but keep the JSON valid (the
+		// server indents, so the colon is followed by a space; a digit
+		// prefix changes the value in place), leaving only the CRC
+		// check between the corruption and the caller.
+		body = bytes.Replace(body, []byte(`"Instructions": `), []byte(`"Instructions": 9`), 1)
+	}
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// replica is one real serving replica: a full serve.Server over its
+// own local store.
+type replica struct {
+	store *runner.Store
+	ts    *httptest.Server
+}
+
+func newReplica(t *testing.T) *replica {
+	t.Helper()
+	store, err := runner.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := serve.New(serve.Options{Pool: runner.New(1, store), Memo: store})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return &replica{store: store, ts: ts}
+}
+
+// chaosJob is a deterministic workload whose result the tests compare
+// bit-for-bit across recompute paths.
+func chaosJob(ops int) runner.Job {
+	cfg := machine.Base(1, true)
+	cfg.Name = "chaos-test-machine"
+	return runner.Job{Config: cfg, Prog: emitter.Program{
+		Name:    "chaos-test",
+		Variant: fmt.Sprintf("ops=%d", ops),
+		Threads: 1,
+		Body: func(th *emitter.Thread, _ any) {
+			th.Barrier(emitter.BarrierStart)
+			th.IntOps(ops)
+			th.Barrier(emitter.BarrierEnd)
+		},
+	}, Seed: 11}
+}
+
+// groundTruth computes the job's result with no store at all.
+func groundTruth(t *testing.T, job runner.Job) machine.Result {
+	t.Helper()
+	res, err := runner.New(1, nil).Run(context.Background(), []runner.Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res[0]
+}
+
+// chaosDist builds a DistStore whose only peer is the proxied replica.
+func chaosDist(t *testing.T, proxy *chaosProxy) (*runner.DistStore, *obs.StoreCounters) {
+	t.Helper()
+	local, err := runner.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &obs.StoreCounters{}
+	d := runner.NewDistStore(runner.DistOptions{
+		Self:         "http://chaos-self",
+		Local:        local,
+		Peers:        []runner.PeerStore{client.NewStoreClient(proxy.URL(), nil)},
+		HedgeFloor:   10 * time.Millisecond,
+		FetchTimeout: 2 * time.Second,
+		Counters:     c,
+	})
+	t.Cleanup(d.Close)
+	return d, c
+}
+
+// seedRemote computes the job on the remote replica's store so the
+// ring genuinely holds the result.
+func seedRemote(t *testing.T, rep *replica, job runner.Job) machine.Result {
+	t.Helper()
+	res, err := runner.New(1, rep.store).Run(context.Background(), []runner.Job{job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res[0]
+}
+
+func TestChaosCorruptBodyNeverServed(t *testing.T) {
+	rep := newReplica(t)
+	proxy := newChaosProxy(t, rep.ts.URL)
+	d, c := chaosDist(t, proxy)
+	job := chaosJob(500)
+	want := seedRemote(t, rep, job)
+	key := job.Fingerprint()
+
+	proxy.set(chaosCorrupt)
+	if res, ok := d.Get(key); ok {
+		t.Fatalf("corrupted fetch served as a hit: %+v", res)
+	}
+	if c.Snapshot().RemoteErrors == 0 {
+		t.Fatal("corruption was not surfaced as a remote error")
+	}
+	// The recompute fallback is always available and always right.
+	out := runner.New(1, d).RunAll(context.Background(), []runner.Job{job})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if out[0].Result.Exec != want.Exec || out[0].Result.Instructions != want.Instructions {
+		t.Fatalf("fallback result diverged: %+v vs %+v", out[0].Result, want)
+	}
+
+	// With the corruption gone the remote hit works and matches.
+	proxy.set(chaosOK)
+	d2, _ := chaosDist(t, proxy)
+	res, ok := d2.Get(key)
+	if !ok {
+		t.Fatal("clean fetch missed")
+	}
+	if res.Exec != want.Exec || res.Instructions != want.Instructions {
+		t.Fatalf("remote result diverged: %+v vs %+v", res, want)
+	}
+}
+
+func TestChaosTruncatedBodyNeverServed(t *testing.T) {
+	rep := newReplica(t)
+	proxy := newChaosProxy(t, rep.ts.URL)
+	d, c := chaosDist(t, proxy)
+	job := chaosJob(600)
+	want := seedRemote(t, rep, job)
+
+	proxy.set(chaosTruncate)
+	if res, ok := d.Get(job.Fingerprint()); ok {
+		t.Fatalf("truncated fetch served as a hit: %+v", res)
+	}
+	if c.Snapshot().RemoteErrors == 0 {
+		t.Fatal("truncation was not surfaced as a remote error")
+	}
+	if proxy.count(chaosTruncate) == 0 {
+		t.Fatal("truncate path never exercised")
+	}
+	out := runner.New(1, d).RunAll(context.Background(), []runner.Job{job})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if out[0].Result.Exec != want.Exec {
+		t.Fatalf("fallback Exec %d, want %d", out[0].Result.Exec, want.Exec)
+	}
+}
+
+func TestChaosDeadReplicaFallsBackToCompute(t *testing.T) {
+	rep := newReplica(t)
+	proxy := newChaosProxy(t, rep.ts.URL)
+	d, c := chaosDist(t, proxy)
+	job := chaosJob(700)
+	want := seedRemote(t, rep, job)
+
+	// The only peer is dead; the pool must still deliver the correct
+	// result by computing it.
+	proxy.set(chaosRefuse)
+	out := runner.New(1, d).RunAll(context.Background(), []runner.Job{job})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if out[0].Cached {
+		t.Fatal("result claimed cached with every peer dead and local cold")
+	}
+	if out[0].Result.Exec != want.Exec || out[0].Result.Instructions != want.Instructions {
+		t.Fatalf("recompute diverged: %+v vs %+v", out[0].Result, want)
+	}
+	snap := c.Snapshot()
+	if snap.RemoteErrors == 0 && snap.Fallbacks == 0 {
+		t.Fatalf("dead peer left no trace in the counters: %+v", snap)
+	}
+}
+
+func TestChaosDelayTriggersHedgeAndStaysCorrect(t *testing.T) {
+	// Two owners behind two proxies; the primary (whichever it is)
+	// stalls, the hedge reaches the other, and the result is correct.
+	repA := newReplica(t)
+	repB := newReplica(t)
+	proxyA := newChaosProxy(t, repA.ts.URL)
+	proxyB := newChaosProxy(t, repB.ts.URL)
+	local, err := runner.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &obs.StoreCounters{}
+	d := runner.NewDistStore(runner.DistOptions{
+		Self:  "http://chaos-self",
+		Local: local,
+		Peers: []runner.PeerStore{
+			client.NewStoreClient(proxyA.URL(), nil),
+			client.NewStoreClient(proxyB.URL(), nil),
+		},
+		// Replicate 2 keeps both proxies in every key's owner list, so
+		// the hedge always has a second owner to reach.
+		Replicate:    2,
+		HedgeFloor:   10 * time.Millisecond,
+		FetchTimeout: 5 * time.Second,
+		Counters:     c,
+	})
+	t.Cleanup(d.Close)
+
+	job := chaosJob(800)
+	want := seedRemote(t, repA, job)
+	seedRemote(t, repB, job)
+	proxyA.set(chaosDelay)
+	proxyB.set(chaosDelay)
+	// Both proxies stall 400ms; whichever owner is tried first, the
+	// hedge fires at ~10ms and both requests resolve eventually. To
+	// observe a hedge *win*, stall only the first owner.
+	owners := d.Owners(job.Fingerprint())
+	if len(owners) < 2 {
+		t.Fatalf("expected at least 2 owners, got %v", owners)
+	}
+	proxyA.set(chaosOK)
+	proxyB.set(chaosOK)
+	primary := owners[0]
+	if primary == "http://chaos-self" {
+		primary = owners[1]
+	}
+	if primary == proxyA.URL() {
+		proxyA.set(chaosDelay)
+	} else {
+		proxyB.set(chaosDelay)
+	}
+
+	start := time.Now()
+	res, ok := d.Get(job.Fingerprint())
+	if !ok {
+		t.Fatal("hedged fetch missed with both owners seeded")
+	}
+	if res.Exec != want.Exec || res.Instructions != want.Instructions {
+		t.Fatalf("hedged result diverged: %+v vs %+v", res, want)
+	}
+	if elapsed := time.Since(start); elapsed > 350*time.Millisecond {
+		t.Fatalf("hedged fetch took %s; it waited out the stalled owner", elapsed)
+	}
+	snap := c.Snapshot()
+	if snap.Hedges == 0 {
+		t.Fatal("no hedge launched against a stalled primary")
+	}
+	if snap.HedgeWins == 0 {
+		t.Fatal("hedge never won against a 400ms stall")
+	}
+}
+
+func TestChaosKillOwnerAfterWarmup(t *testing.T) {
+	// The ring-smoke scenario in-process: warm the owner, kill it,
+	// and verify the next asker still gets the exact result.
+	rep := newReplica(t)
+	proxy := newChaosProxy(t, rep.ts.URL)
+	d, _ := chaosDist(t, proxy)
+	job := chaosJob(900)
+	key := job.Fingerprint()
+	want := seedRemote(t, rep, job)
+
+	// Warm path works.
+	if res, ok := d.Get(key); !ok || res.Exec != want.Exec {
+		t.Fatalf("warm fetch = (%+v, %v)", res, ok)
+	}
+	// Kill the owner. A fresh dist store (cold local — the warm one
+	// read the result through) must recompute and agree.
+	proxy.set(chaosRefuse)
+	d2, _ := chaosDist(t, proxy)
+	out := runner.New(1, d2).RunAll(context.Background(), []runner.Job{job})
+	if out[0].Err != nil {
+		t.Fatal(out[0].Err)
+	}
+	if out[0].Result.Exec != want.Exec || out[0].Result.Instructions != want.Instructions {
+		t.Fatalf("post-kill result diverged: %+v vs %+v", out[0].Result, want)
+	}
+}
+
+func TestChaosHealthProbesTrackOutage(t *testing.T) {
+	rep := newReplica(t)
+	proxy := newChaosProxy(t, rep.ts.URL)
+	d, _ := chaosDist(t, proxy)
+	peer := proxy.URL()
+
+	d.PollHealth()
+	if !d.Ring().IsLive(peer) {
+		t.Fatal("healthy peer probed down")
+	}
+	proxy.set(chaosRefuse)
+	d.PollHealth()
+	if d.Ring().IsLive(peer) {
+		t.Fatal("dead peer probed up")
+	}
+	proxy.set(chaosOK)
+	d.PollHealth()
+	if !d.Ring().IsLive(peer) {
+		t.Fatal("recovered peer still down")
+	}
+}

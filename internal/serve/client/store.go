@@ -1,0 +1,124 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/runner"
+	"flashsim/internal/serve"
+)
+
+var _ runner.PeerStore = (*StoreClient)(nil)
+
+// StoreClient is the HTTP runner.PeerStore: one ring peer's memo store
+// reached through flashd's /v1/store/{fingerprint} GET/PUT and
+// /v1/health endpoints. Its Name is the peer's base URL, which is also
+// the ring member name flashd registers it under — one string, no
+// separate identity to keep in sync.
+//
+// Every fetched body passes the StoredResult envelope checks (schema
+// and CRC) before it is returned, so a truncated or corrupted response
+// surfaces as an error — the distribution layer recomputes — never as
+// a wrong result.
+type StoreClient struct {
+	base string
+	hc   *http.Client
+}
+
+// NewStoreClient returns a peer store for baseURL (e.g.
+// "http://127.0.0.1:8023"). hc may be nil for http.DefaultClient; the
+// distribution layer bounds each call with its own context deadlines,
+// so the client needs no global timeout.
+func NewStoreClient(baseURL string, hc *http.Client) *StoreClient {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &StoreClient{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// Name returns the peer's ring member name (its base URL).
+func (s *StoreClient) Name() string { return s.base }
+
+// Fetch retrieves the peer's memoized result for key. A 404 is a
+// definitive miss (ok=false, nil error); any other failure — transport,
+// status, or an envelope that does not validate — is an error.
+func (s *StoreClient) Fetch(ctx context.Context, key string) (machine.Result, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/store/"+key, nil)
+	if err != nil {
+		return machine.Result{}, false, err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return machine.Result{}, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return machine.Result{}, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return machine.Result{}, false, apiError(resp)
+	}
+	var env serve.StoredResult
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return machine.Result{}, false, fmt.Errorf("store fetch %s from %s: %w", key, s.base, err)
+	}
+	res, err := env.Decode()
+	if err != nil {
+		return machine.Result{}, false, fmt.Errorf("store fetch %s from %s: %w", key, s.base, err)
+	}
+	return res, true, nil
+}
+
+// Store pushes a result to the peer (a ring back-fill).
+func (s *StoreClient) Store(ctx context.Context, key string, res machine.Result) error {
+	env, err := serve.EncodeStored(res)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, s.base+"/v1/store/"+key, bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Health probes the peer's /v1/health. A draining replica is still
+// healthy for the ring: it keeps serving its store, it just refuses new
+// jobs — and the store API is all a peer uses.
+func (s *StoreClient) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.base+"/v1/health", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("health probe %s: HTTP %d", s.base, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/serve"
+)
+
+func TestStoreClientFetchMissAndHit(t *testing.T) {
+	var stored *serve.StoredResult
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if stored == nil {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(stored)
+	}))
+	defer ts.Close()
+	sc := NewStoreClient(ts.URL+"/", nil)
+	if sc.Name() != ts.URL {
+		t.Fatalf("Name = %q, want the trimmed base URL %q", sc.Name(), ts.URL)
+	}
+
+	// 404 is a definitive miss, not an error.
+	if _, ok, err := sc.Fetch(context.Background(), "abc123"); ok || err != nil {
+		t.Fatalf("miss = (ok=%v, err=%v)", ok, err)
+	}
+
+	env, err := serve.EncodeStored(machine.Result{Instructions: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored = &env
+	res, ok, err := sc.Fetch(context.Background(), "abc123")
+	if err != nil || !ok || res.Instructions != 5 {
+		t.Fatalf("hit = (%+v, %v, %v)", res, ok, err)
+	}
+}
+
+func TestStoreClientFetchRejectsBadBodies(t *testing.T) {
+	cases := map[string]func(w http.ResponseWriter){
+		"not json": func(w http.ResponseWriter) {
+			w.Write([]byte("hello"))
+		},
+		"bad CRC": func(w http.ResponseWriter) {
+			env, _ := serve.EncodeStored(machine.Result{Instructions: 5})
+			env.CRC32++
+			json.NewEncoder(w).Encode(env)
+		},
+		"wrong schema": func(w http.ResponseWriter) {
+			env, _ := serve.EncodeStored(machine.Result{Instructions: 5})
+			env.Schema++
+			json.NewEncoder(w).Encode(env)
+		},
+		"server error": func(w http.ResponseWriter) {
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte(`{"error":"boom"}`))
+		},
+	}
+	for name, respond := range cases {
+		t.Run(name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				respond(w)
+			}))
+			defer ts.Close()
+			sc := NewStoreClient(ts.URL, nil)
+			if res, ok, err := sc.Fetch(context.Background(), "abc123"); err == nil {
+				t.Fatalf("bad body %s accepted: (%+v, %v)", name, res, ok)
+			}
+		})
+	}
+}
+
+func TestStoreClientStoreSendsValidEnvelope(t *testing.T) {
+	var got serve.StoredResult
+	var method, path string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		method, path = r.Method, r.URL.Path
+		if err := json.NewDecoder(r.Body).Decode(&got); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte(`{"stored":true}`))
+	}))
+	defer ts.Close()
+	sc := NewStoreClient(ts.URL, nil)
+	if err := sc.Store(context.Background(), "abc123", machine.Result{Instructions: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if method != http.MethodPut || !strings.HasSuffix(path, "/v1/store/abc123") {
+		t.Fatalf("sent %s %s", method, path)
+	}
+	res, err := got.Decode()
+	if err != nil {
+		t.Fatalf("pushed envelope does not validate: %v", err)
+	}
+	if res.Instructions != 9 {
+		t.Fatalf("pushed Instructions = %d", res.Instructions)
+	}
+}
+
+func TestStoreClientStoreSurfacesRejection(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"stored result CRC mismatch"}`))
+	}))
+	defer ts.Close()
+	sc := NewStoreClient(ts.URL, nil)
+	err := sc.Store(context.Background(), "abc123", machine.Result{})
+	if err == nil || !strings.Contains(err.Error(), "CRC mismatch") {
+		t.Fatalf("rejected PUT error = %v", err)
+	}
+}
+
+func TestStoreClientHealth(t *testing.T) {
+	status := http.StatusOK
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/health" {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(status)
+	}))
+	defer ts.Close()
+	sc := NewStoreClient(ts.URL, nil)
+	if err := sc.Health(context.Background()); err != nil {
+		t.Fatalf("healthy probe = %v", err)
+	}
+	status = http.StatusInternalServerError
+	if err := sc.Health(context.Background()); err == nil {
+		t.Fatal("unhealthy probe reported ok")
+	}
+	ts.Close()
+	if err := sc.Health(context.Background()); err == nil {
+		t.Fatal("dead server probe reported ok")
+	}
+}
+
+func TestStoreClientContextCancellation(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+	}))
+	defer ts.Close()
+	sc := NewStoreClient(ts.URL, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := sc.Fetch(ctx, "abc123"); err == nil {
+		t.Fatal("cancelled fetch returned no error")
+	}
+}

@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"regexp"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/param"
+	"flashsim/internal/runner"
+)
+
+// maxStoreBodyBytes bounds /v1/store PUT bodies. Results are a few
+// hundred KB at paper scale; far larger is a broken peer, not a run.
+const maxStoreBodyBytes = 64 << 20
+
+// storeKeyPattern is the accepted shape of a store key: the hex digest
+// of a runner fingerprint. Anything else is rejected before it can
+// reach a filesystem-backed backend as a path component.
+var storeKeyPattern = regexp.MustCompile(`^[0-9a-f]{16,128}$`)
+
+// StoredResult is the wire envelope of one memoized result on the
+// replica store API (/v1/store/{fingerprint}). The raw result bytes
+// travel with their own IEEE CRC-32 and the parameter-registry schema
+// version, so a reader can reject truncation, corruption, and
+// cross-build aliasing without trusting the transport: the fingerprint
+// key space is already schema-versioned, but the envelope makes the
+// check locally enforceable on every read and write.
+type StoredResult struct {
+	Schema int             `json:"schema"`
+	CRC32  uint32          `json:"crc32"`
+	Result json.RawMessage `json:"result"`
+}
+
+// EncodeStored wraps a result for the wire.
+func EncodeStored(res machine.Result) (StoredResult, error) {
+	data, err := json.Marshal(res)
+	if err != nil {
+		return StoredResult{}, err
+	}
+	return StoredResult{Schema: param.SchemaVersion, CRC32: crc32.ChecksumIEEE(data), Result: data}, nil
+}
+
+// Decode validates the envelope — schema match, CRC over the result
+// bytes — and unpacks the result. Every failure is an error; a caller
+// must treat it as a miss (recompute), never as data.
+//
+// The CRC is taken over the compact encoding of the result, so it
+// survives whitespace re-formatting in transit (the server's JSON
+// writer indents) while still catching truncation and content
+// corruption.
+func (s StoredResult) Decode() (machine.Result, error) {
+	if s.Schema != param.SchemaVersion {
+		return machine.Result{}, fmt.Errorf("stored result schema %d, this build speaks %d", s.Schema, param.SchemaVersion)
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, s.Result); err != nil {
+		return machine.Result{}, fmt.Errorf("stored result body: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(compact.Bytes()); got != s.CRC32 {
+		return machine.Result{}, fmt.Errorf("stored result CRC mismatch (envelope %08x, body %08x)", s.CRC32, got)
+	}
+	var res machine.Result
+	if err := json.Unmarshal(s.Result, &res); err != nil {
+		return machine.Result{}, fmt.Errorf("stored result body: %w", err)
+	}
+	return res, nil
+}
+
+// HealthResponse is the /v1/health body: the liveness answer ring
+// peers poll, plus (on a ring member) this replica's view of the
+// membership.
+type HealthResponse struct {
+	// Status is "ok" or "draining". A draining replica still serves
+	// its store — accepted results stay fetchable — so peers treat
+	// both as up.
+	Status string `json:"status"`
+	// Self is this replica's ring name ("" when not in a ring).
+	Self string `json:"self,omitempty"`
+	// Peers is this replica's health view of the ring (absent when
+	// not in a ring).
+	Peers []PeerView `json:"peers,omitempty"`
+}
+
+// PeerView mirrors runner.PeerStatus on the wire.
+type PeerView struct {
+	Name string `json:"name"`
+	Up   bool   `json:"up"`
+	Err  string `json:"err,omitempty"`
+}
+
+// RingResponse is the /v1/ring body: membership, liveness, and — when
+// the request carries ?key= — the owner list of that key.
+type RingResponse struct {
+	Self    string     `json:"self"`
+	Members []PeerView `json:"members"`
+	// Key and Owners echo the ?key= lookup (owners in preference
+	// order, live members only).
+	Key    string   `json:"key,omitempty"`
+	Owners []string `json:"owners,omitempty"`
+}
+
+// handleStoreGet serves one memoized result from the replica's local
+// backend. The local backend — not the distributed wrapper — is
+// deliberate: a peer asking us is resolving ring ownership, and
+// answering from our own store is what keeps a fetch from bouncing
+// around the ring.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	if s.memo == nil {
+		writeError(w, http.StatusNotFound, "no memo store exposed on this server")
+		return
+	}
+	key := r.PathValue("fp")
+	if !storeKeyPattern.MatchString(key) {
+		writeError(w, http.StatusBadRequest, "malformed store key %q", key)
+		return
+	}
+	res, ok := s.memo.Get(key)
+	if !ok {
+		s.storeMisses.Add(1)
+		writeError(w, http.StatusNotFound, "no result for %s", key)
+		return
+	}
+	env, err := EncodeStored(res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encode result: %v", err)
+		return
+	}
+	s.storeGets.Add(1)
+	writeJSON(w, http.StatusOK, env)
+}
+
+// handleStorePut accepts a ring back-fill. The envelope is validated
+// — schema and CRC — before anything reaches the backend, so a corrupt
+// push can never poison the store.
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	if s.memo == nil {
+		writeError(w, http.StatusNotFound, "no memo store exposed on this server")
+		return
+	}
+	key := r.PathValue("fp")
+	if !storeKeyPattern.MatchString(key) {
+		writeError(w, http.StatusBadRequest, "malformed store key %q", key)
+		return
+	}
+	var env StoredResult
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxStoreBodyBytes))
+	if err := dec.Decode(&env); err != nil {
+		writeError(w, http.StatusBadRequest, "request body: %v", err)
+		return
+	}
+	res, err := env.Decode()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.memo.Put(key, res)
+	s.storePuts.Add(1)
+	writeJSON(w, http.StatusOK, map[string]bool{"stored": true})
+}
+
+// handleHealth answers ring health probes (and humans).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{Status: "ok"}
+	if s.Draining() {
+		resp.Status = "draining"
+	}
+	if s.dist != nil {
+		resp.Self = s.dist.Self()
+		resp.Peers = peerViews(s.dist)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRing renders the membership view; ?key= additionally resolves
+// that fingerprint's owners, which is how the smoke tests (and
+// operators) find out where a result lives.
+func (s *Server) handleRing(w http.ResponseWriter, r *http.Request) {
+	if s.dist == nil {
+		writeError(w, http.StatusNotFound, "this server is not part of a ring (start flashd with -peers)")
+		return
+	}
+	resp := RingResponse{Self: s.dist.Self(), Members: peerViews(s.dist)}
+	if key := r.URL.Query().Get("key"); key != "" {
+		resp.Key = key
+		resp.Owners = s.dist.Owners(key)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// peerViews converts the dist store's health view for the wire.
+func peerViews(d *runner.DistStore) []PeerView {
+	sts := d.PeerHealth()
+	out := make([]PeerView, len(sts))
+	for i, st := range sts {
+		out[i] = PeerView{Name: st.Name, Up: st.Up, Err: st.Err}
+	}
+	return out
+}

@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"flashsim/internal/machine"
+	"flashsim/internal/param"
+	"flashsim/internal/runner"
+)
+
+const testFP = "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+
+func TestStoredResultRoundTrip(t *testing.T) {
+	want := machine.Result{Config: "m", Instructions: 42}
+	env, err := EncodeStored(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Schema != param.SchemaVersion {
+		t.Fatalf("schema %d, want %d", env.Schema, param.SchemaVersion)
+	}
+	got, err := env.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Instructions != want.Instructions || got.Config != want.Config {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestStoredResultRejectsTampering(t *testing.T) {
+	env, err := EncodeStored(machine.Result{Instructions: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := env
+	flipped.Result = bytes.Replace(env.Result, []byte(`"Instructions":42`), []byte(`"Instructions":43`), 1)
+	if bytes.Equal(flipped.Result, env.Result) {
+		t.Fatal("tamper replacement did not apply")
+	}
+	if _, err := flipped.Decode(); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Fatalf("corrupted body decoded: %v", err)
+	}
+	stale := env
+	stale.Schema = param.SchemaVersion + 1
+	if _, err := stale.Decode(); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong-schema envelope decoded: %v", err)
+	}
+	truncated := env
+	truncated.Result = env.Result[:len(env.Result)/2]
+	if _, err := truncated.Decode(); err == nil {
+		t.Fatal("truncated body decoded")
+	}
+}
+
+// storeServer builds a test server exposing a local memo backend on the
+// store API.
+func storeServer(t *testing.T) (*Server, string, runner.Backend) {
+	t.Helper()
+	local, err := runner.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts, gate := newTestServer(t, Options{Memo: local})
+	close(gate)
+	return s, ts.URL, local
+}
+
+func TestStoreAPIRoundTrip(t *testing.T) {
+	_, url, local := storeServer(t)
+
+	// Miss first.
+	resp := getJSON(t, url+"/v1/store/"+testFP, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET on empty store = %d", resp.StatusCode)
+	}
+
+	// PUT a valid envelope, then read it back.
+	env, err := EncodeStored(machine.Result{Instructions: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := putJSON(t, url+"/v1/store/"+testFP, env)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT = %d: %s", resp.StatusCode, body)
+	}
+	var got StoredResult
+	if resp := getJSON(t, url+"/v1/store/"+testFP, &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after PUT = %d", resp.StatusCode)
+	}
+	res, err := got.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 7 {
+		t.Fatalf("Instructions = %d", res.Instructions)
+	}
+	if res2, ok := local.Get(testFP); !ok || res2.Instructions != 7 {
+		t.Fatalf("backend after PUT = (%v, %v)", res2, ok)
+	}
+}
+
+func TestStoreAPIRejectsBadKeysAndBodies(t *testing.T) {
+	_, url, local := storeServer(t)
+	for _, key := range []string{"UPPER", "short", "has-dash", strings.Repeat("a", 200)} {
+		if resp := getJSON(t, url+"/v1/store/"+key, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET key %q = %d, want 400", key, resp.StatusCode)
+		}
+	}
+
+	// A corrupt PUT (CRC mismatch) must be rejected and never stored.
+	env, err := EncodeStored(machine.Result{Instructions: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Result = bytes.Replace(env.Result, []byte(`"Instructions":42`), []byte(`"Instructions":43`), 1)
+	resp, body := putJSON(t, url+"/v1/store/"+testFP, env)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("corrupt PUT = %d: %s", resp.StatusCode, body)
+	}
+	if _, ok := local.Get(testFP); ok {
+		t.Fatal("corrupt PUT reached the backend")
+	}
+
+	// A wrong-schema PUT likewise.
+	env2, err := EncodeStored(machine.Result{Instructions: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2.Schema++
+	if resp, _ := putJSON(t, url+"/v1/store/"+testFP, env2); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong-schema PUT = %d, want 400", resp.StatusCode)
+	}
+	// Non-JSON garbage.
+	req, err := http.NewRequest(http.MethodPut, url+"/v1/store/"+testFP, strings.NewReader("not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Body.Close()
+	if raw.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage PUT = %d, want 400", raw.StatusCode)
+	}
+}
+
+func TestStoreAPIWithoutMemoIs404(t *testing.T) {
+	_, ts, gate := newTestServer(t, Options{})
+	close(gate)
+	if resp := getJSON(t, ts.URL+"/v1/store/"+testFP, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET without memo = %d, want 404", resp.StatusCode)
+	}
+	env, _ := EncodeStored(machine.Result{})
+	if resp, _ := putJSON(t, ts.URL+"/v1/store/"+testFP, env); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("PUT without memo = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHealthAndRingEndpoints(t *testing.T) {
+	// Plain server: /v1/health answers, /v1/ring is 404.
+	_, ts, gate := newTestServer(t, Options{})
+	close(gate)
+	var health HealthResponse
+	if resp := getJSON(t, ts.URL+"/v1/health", &health); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/health = %d", resp.StatusCode)
+	}
+	if health.Status != "ok" || health.Self != "" {
+		t.Fatalf("plain health = %+v", health)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/ring", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /v1/ring without a ring = %d, want 404", resp.StatusCode)
+	}
+
+	// Ring member: both endpoints carry the membership view.
+	local, err := runner.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := runner.NewDistStore(runner.DistOptions{Self: "http://self:1", Local: local})
+	t.Cleanup(dist.Close)
+	_, ts2, gate2 := newTestServer(t, Options{Memo: local, Dist: dist})
+	close(gate2)
+	var h2 HealthResponse
+	getJSON(t, ts2.URL+"/v1/health", &h2)
+	if h2.Self != "http://self:1" || len(h2.Peers) != 1 || !h2.Peers[0].Up {
+		t.Fatalf("ring health = %+v", h2)
+	}
+	var ring RingResponse
+	if resp := getJSON(t, ts2.URL+"/v1/ring?key="+testFP, &ring); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/ring = %d", resp.StatusCode)
+	}
+	if ring.Self != "http://self:1" || ring.Key != testFP {
+		t.Fatalf("ring view = %+v", ring)
+	}
+	if len(ring.Owners) != 1 || ring.Owners[0] != "http://self:1" {
+		t.Fatalf("single-member ring owners = %v", ring.Owners)
+	}
+}
+
+func TestMetricsExposeStoreSeries(t *testing.T) {
+	local, err := runner.NewStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := runner.NewDistStore(runner.DistOptions{Self: "http://self:1", Local: local})
+	t.Cleanup(dist.Close)
+	_, ts, gate := newTestServer(t, Options{Memo: local, Dist: dist})
+	close(gate)
+
+	// Drive one store hit so the counters move.
+	env, err := EncodeStored(machine.Result{Instructions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	putJSON(t, ts.URL+"/v1/store/"+testFP, env)
+	getJSON(t, ts.URL+"/v1/store/"+testFP, nil)
+
+	resp, body := getText(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"flashd_store_api_gets_total 1",
+		"flashd_store_api_puts_total 1",
+		"flashd_store_local_hits_total",
+		"flashd_store_hedges_total",
+		"flashd_store_backfills_total",
+		"flashd_store_peers_live 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// putJSON issues a PUT with a JSON body.
+func putJSON(t *testing.T, url string, v any) (*http.Response, string) {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.String()
+}
+
+// getText fetches a plain-text endpoint.
+func getText(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.String()
+}

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the distributed serving tier: boot a 3-replica
+# flashd ring, run a spec cold on one replica, verify the result lands
+# on its ring owner and that a *different* replica serves the same spec
+# as a warm cached hit; then, with a second spec, kill its owner
+# outright and require a surviving replica to still answer 200 with a
+# bit-identical result (remote hit from the computing replica or a
+# deterministic recompute — either is correct by construction).
+#
+# Ports are picked fresh per run (the -peers list must be known before
+# the daemons start, so the kernel's port 0 trick is not enough here).
+set -euo pipefail
+
+workdir=$(mktemp -d)
+pids=()
+trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+read -r p1 p2 p3 < <(python3 - <<'EOF'
+import socket
+socks = [socket.socket() for _ in range(3)]
+for s in socks:
+    s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks:
+    s.close()
+EOF
+)
+urls=("http://127.0.0.1:$p1" "http://127.0.0.1:$p2" "http://127.0.0.1:$p3")
+
+go build -o "$workdir/flashd" ./cmd/flashd
+start_replica() { # index port peers...
+  local i=$1 port=$2; shift 2
+  "$workdir/flashd" -addr "127.0.0.1:$port" -self "http://127.0.0.1:$port" \
+    -peers "$(IFS=,; echo "$*")" -health-every 500ms -hedge-after 20ms \
+    >"$workdir/r$i.log" 2>&1 &
+  pids+=($!)
+}
+start_replica 1 "$p1" "${urls[1]}" "${urls[2]}"
+start_replica 2 "$p2" "${urls[0]}" "${urls[2]}"
+start_replica 3 "$p3" "${urls[0]}" "${urls[1]}"
+
+for u in "${urls[@]}"; do
+  for i in $(seq 1 100); do
+    if curl -fsS "$u/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+  done
+  curl -fsS "$u/healthz" >/dev/null || { echo "replica $u never came up" >&2; cat "$workdir"/r*.log >&2; exit 1; }
+done
+
+# Every replica must see the full ring live once health has been polled.
+sleep 1
+live=$(curl -fsS "${urls[0]}/metrics" | sed -n 's/^flashd_store_peers_live \([0-9]*\)$/\1/p')
+[ "$live" = 3 ] || { echo "replica 1 sees $live live members, want 3" >&2; exit 1; }
+
+submit() { # out_file replica_url body
+  curl -sS -o "$1" -w '%{http_code}' -X POST "$2/v1/runs?wait=true" \
+    -H 'Content-Type: application/json' -d "$3"
+}
+field() { # file json-key -> first value (digits/hex)
+  sed -n "s/.*\"$2\": \"\{0,1\}\([0-9a-f]*\)\"\{0,1\}.*/\1/p" "$1" | head -1
+}
+
+# ---- Leg 1: cold on replica 1, warm cached hit via replica 2 ----
+spec1='{"base":"simos-mipsy","workload":{"name":"snbench.restart","lines":200}}'
+code=$(submit "$workdir/cold1.json" "${urls[0]}" "$spec1")
+[ "$code" = 200 ] || { echo "cold submit: HTTP $code" >&2; cat "$workdir/cold1.json" >&2; exit 1; }
+grep -q '"cached": true' "$workdir/cold1.json" && { echo "cold run claims cached" >&2; exit 1; }
+fp1=$(field "$workdir/cold1.json" fingerprint)
+[ -n "$fp1" ] || { echo "no fingerprint in the cold response" >&2; exit 1; }
+
+# The ring agrees on the key's owner; wait until the owner's store
+# actually holds the result (the back-fill is asynchronous), which also
+# smoke-tests the /v1/store GET surface.
+owner1=$(curl -fsS "${urls[0]}/v1/ring?key=$fp1" | sed -n 's/.*"owners": \[[[:space:]]*"\([^"]*\)".*/\1/p' | head -1)
+[ -n "$owner1" ] || owner1=$(curl -fsS "${urls[0]}/v1/ring?key=$fp1" | tr -d ' \n' | sed -n 's/.*"owners":\["\([^"]*\)".*/\1/p')
+[ -n "$owner1" ] || { echo "ring lookup returned no owner" >&2; exit 1; }
+for i in $(seq 1 100); do
+  if curl -fsS "$owner1/v1/store/$fp1" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+curl -fsS "$owner1/v1/store/$fp1" >/dev/null \
+  || { echo "owner $owner1 never received $fp1" >&2; cat "$workdir"/r*.log >&2; exit 1; }
+
+code=$(submit "$workdir/warm1.json" "${urls[1]}" "$spec1")
+[ "$code" = 200 ] || { echo "warm submit: HTTP $code" >&2; cat "$workdir/warm1.json" >&2; exit 1; }
+grep -q '"cached": true' "$workdir/warm1.json" \
+  || { echo "replica 2 missed a result the ring holds" >&2; cat "$workdir/warm1.json" >&2; exit 1; }
+cold_exec=$(grep -m1 '"Exec":' "$workdir/cold1.json" | tr -dc '0-9')
+warm_exec=$(grep -m1 '"Exec":' "$workdir/warm1.json" | tr -dc '0-9')
+[ -n "$cold_exec" ] && [ "$cold_exec" = "$warm_exec" ] \
+  || { echo "cross-replica Exec diverged ($warm_exec vs $cold_exec)" >&2; exit 1; }
+echo "ring leg 1 OK: cold on replica 1, cached cross-replica hit on replica 2 (owner $owner1)"
+
+# ---- Leg 2: kill a second spec's owner, survivors still answer ----
+spec2='{"base":"simos-mipsy","workload":{"name":"snbench.restart","lines":320}}'
+code=$(submit "$workdir/cold2.json" "${urls[0]}" "$spec2")
+[ "$code" = 200 ] || { echo "cold2 submit: HTTP $code" >&2; cat "$workdir/cold2.json" >&2; exit 1; }
+fp2=$(field "$workdir/cold2.json" fingerprint)
+owner2=$(curl -fsS "${urls[0]}/v1/ring?key=$fp2" | tr -d ' \n' | sed -n 's/.*"owners":\["\([^"]*\)".*/\1/p')
+[ -n "$owner2" ] || { echo "ring lookup for spec2 returned no owner" >&2; exit 1; }
+for i in $(seq 1 100); do
+  if curl -fsS "$owner2/v1/store/$fp2" >/dev/null 2>&1; then break; fi
+  sleep 0.1
+done
+
+# Kill the owner's process (not a drain — a crash). disown first so
+# bash does not print an asynchronous "Killed" job notification.
+for idx in 0 1 2; do
+  if [ "${urls[$idx]}" = "$owner2" ]; then
+    disown "${pids[$idx]}" 2>/dev/null || true
+    kill -KILL "${pids[$idx]}"
+  fi
+done
+
+# Pick a surviving replica and resubmit: the answer must be 200 with
+# the identical result, whether it comes from the computing replica's
+# local store, a surviving owner, or a deterministic recompute.
+survivor=""
+for u in "${urls[@]}"; do
+  [ "$u" != "$owner2" ] && [ "$u" != "${urls[0]}" ] && survivor=$u
+done
+[ -n "$survivor" ] || survivor="${urls[0]}"
+code=$(submit "$workdir/dead.json" "$survivor" "$spec2")
+[ "$code" = 200 ] || { echo "post-kill submit: HTTP $code" >&2; cat "$workdir/dead.json" >&2; exit 1; }
+cold2_exec=$(grep -m1 '"Exec":' "$workdir/cold2.json" | tr -dc '0-9')
+dead_exec=$(grep -m1 '"Exec":' "$workdir/dead.json" | tr -dc '0-9')
+[ -n "$cold2_exec" ] && [ "$cold2_exec" = "$dead_exec" ] \
+  || { echo "post-kill Exec diverged ($dead_exec vs $cold2_exec)" >&2; exit 1; }
+echo "ring leg 2 OK: owner $owner2 killed, $survivor still served the identical result"
+
+# Survivors drain cleanly.
+for idx in 0 1 2; do
+  [ "${urls[$idx]}" = "$owner2" ] && continue
+  kill -TERM "${pids[$idx]}"
+  wait "${pids[$idx]}" || { echo "replica ${urls[$idx]} exited nonzero on SIGTERM" >&2; cat "$workdir/r$((idx+1)).log" >&2; exit 1; }
+done
+
+echo "ring smoke OK: 3-replica ring routed, cached cross-replica, and survived an owner kill"

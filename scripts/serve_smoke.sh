@@ -7,15 +7,28 @@
 set -euo pipefail
 
 workdir=$(mktemp -d)
-addr="127.0.0.1:8023"
-base="http://$addr"
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
+# Port 0 lets the kernel pick a free port; the daemon logs the resolved
+# address, which we parse instead of hard-coding one (parallel CI jobs
+# on one host must not collide).
 go build -o "$workdir/flashd" ./cmd/flashd
-"$workdir/flashd" -addr "$addr" -cache-dir "$workdir/cache" -cache-max-bytes 64MiB \
+"$workdir/flashd" -addr 127.0.0.1:0 -cache-dir "$workdir/cache" -cache-max-bytes 64MiB \
   -trace-dir "$workdir/traces" \
   -metrics-out "$workdir/metrics.json" >"$workdir/flashd.log" 2>&1 &
 pid=$!
+
+addr=""
+for i in $(seq 1 100); do
+  addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/flashd.log" | head -1)
+  [ -n "$addr" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "flashd died during startup:" >&2; cat "$workdir/flashd.log" >&2; exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "flashd never logged its address" >&2; cat "$workdir/flashd.log" >&2; exit 1; }
+base="http://$addr"
 
 for i in $(seq 1 50); do
   if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi

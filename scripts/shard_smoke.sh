@@ -7,8 +7,6 @@
 set -euo pipefail
 
 workdir=$(mktemp -d)
-addr="127.0.0.1:8024"
-base="http://$addr"
 trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 # CLI leg: serial vs -shards 4, reports bit-identical modulo wall time.
@@ -21,11 +19,24 @@ fi
 echo "flashsim -shards 4 report identical to serial"
 
 # Daemon leg: cold sharded job, then the serial resubmission must be a
-# warm cache hit with the same counters.
+# warm cache hit with the same counters. Port 0 avoids collisions with
+# concurrent CI jobs; the resolved address comes from the daemon's log.
 go build -o "$workdir/flashd" ./cmd/flashd
-"$workdir/flashd" -addr "$addr" -cache-dir "$workdir/cache" \
+"$workdir/flashd" -addr 127.0.0.1:0 -cache-dir "$workdir/cache" \
   >"$workdir/flashd.log" 2>&1 &
 pid=$!
+
+addr=""
+for i in $(seq 1 100); do
+  addr=$(sed -n 's/.*listening on \(127\.0\.0\.1:[0-9]*\).*/\1/p' "$workdir/flashd.log" | head -1)
+  [ -n "$addr" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "flashd died during startup:" >&2; cat "$workdir/flashd.log" >&2; exit 1
+  fi
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "flashd never logged its address" >&2; cat "$workdir/flashd.log" >&2; exit 1; }
+base="http://$addr"
 
 for i in $(seq 1 50); do
   if curl -fsS "$base/healthz" >/dev/null 2>&1; then break; fi
