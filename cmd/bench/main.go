@@ -25,7 +25,6 @@ import (
 	"testing"
 	"time"
 
-	"flashsim/internal/apps"
 	"flashsim/internal/core"
 	"flashsim/internal/emitter"
 	"flashsim/internal/harness"
@@ -34,6 +33,7 @@ import (
 	"flashsim/internal/machine"
 	"flashsim/internal/sim"
 	"flashsim/internal/trace"
+	"flashsim/internal/workload"
 )
 
 // trajectorySchema versions the BENCH_*.json layout. Schema 2 added
@@ -206,15 +206,26 @@ var benchmarks = []struct {
 		b.ReportMetric(float64(compressed)/float64(len(ins)), "comp-bytes/instr")
 	}},
 	{name: "sim-speed-mipsy", fn: func(b *testing.B) {
-		benchRun(b, core.SimOSMipsy(1, 150, true))
+		benchRun(b, core.SimOSMipsy(1, 150, true), "fft")
 	}},
 	{name: "sim-speed-mxs", fn: func(b *testing.B) {
-		benchRun(b, core.SimOSMXS(1, true))
+		benchRun(b, core.SimOSMXS(1, true), "fft")
 	}},
 	{name: "sim-speed-hw", fn: func(b *testing.B) {
 		cfg := hw.Config(1, true)
 		cfg.JitterPct = 0
-		benchRun(b, cfg)
+		benchRun(b, cfg, "fft")
+	}},
+	{name: "sim-speed-gups", fn: func(b *testing.B) {
+		// Hotspot random-update stressor: almost every access is a
+		// remote miss, so this prices the memory-system event path
+		// where sim-speed-mipsy (FFT) prices mostly-compute streams.
+		benchRun(b, core.SimOSMipsy(1, 150, true), "gups")
+	}},
+	{name: "sim-speed-oltp", fn: func(b *testing.B) {
+		// Pointer-chasing transaction mix: dependent loads and lock
+		// traffic, the latency-bound end of the simulator-speed axis.
+		benchRun(b, core.SimOSMipsy(1, 150, true), "oltp")
 	}},
 	{name: "sim-speed-sampled", fn: func(b *testing.B) {
 		// Execution-driven sampling under the default warm schedule: the
@@ -222,7 +233,7 @@ var benchmarks = []struct {
 		// Live generation and warm-state touches bound the win.
 		cfg := core.SimOSMipsy(1, 150, true)
 		cfg.Sampling = machine.DefaultSampling()
-		benchRun(b, cfg)
+		benchRun(b, cfg, "fft")
 	}},
 	{name: "sim-speed-sampled-replay", fn: func(b *testing.B) {
 		// The replay image as the fast-forward stream, default schedule:
@@ -301,12 +312,26 @@ func benchInstrs(n int) []isa.Instr {
 	return ins[:n]
 }
 
+// benchProg resolves a registry workload at its quick defaults for one
+// processor — the benchmark suite's problem sizes.
+func benchProg(b *testing.B, name string) emitter.Program {
+	def, err := workload.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals, err := def.Resolve(nil, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return def.Build(vals, 1)
+}
+
 // benchSampledReplay captures the benchmark FFT once (outside the
 // timer — a trace is captured once and replayed many times) and then
 // measures sampled replay of the image under sched.
 func benchSampledReplay(b *testing.B, sched machine.SamplingConfig) {
 	cfg := core.SimOSMipsy(1, 150, true)
-	prog := apps.FFT(apps.FFTOpts{LogN: 12, Procs: 1, TLBBlocked: true, Prefetch: true})
+	prog := benchProg(b, "fft")
 	var buf bytes.Buffer
 	tw, err := trace.NewWriter(&buf, trace.Meta{Workload: prog.FullName(), Threads: 1})
 	if err != nil {
@@ -354,12 +379,13 @@ func benchFigure1Sharded(shards int) func(b *testing.B) {
 	}
 }
 
-// benchRun measures one quick FFT machine run and reports simulated
-// instructions per op, the simulator-speed axis of the paper.
-func benchRun(b *testing.B, cfg machine.Config) {
+// benchRun measures one quick machine run of a registry workload and
+// reports simulated instructions per op, the simulator-speed axis of
+// the paper.
+func benchRun(b *testing.B, cfg machine.Config, name string) {
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		res, err := machine.Run(cfg, apps.FFT(apps.FFTOpts{LogN: 12, Procs: 1, TLBBlocked: true, Prefetch: true}))
+		res, err := machine.Run(cfg, benchProg(b, name))
 		if err != nil {
 			b.Fatal(err)
 		}

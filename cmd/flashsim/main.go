@@ -5,9 +5,11 @@
 // Usage:
 //
 //	flashsim -app fft -procs 4                    # hardware reference
-//	flashsim -app radix -radix 32 -procs 16
+//	flashsim -app radix -p radix=32 -procs 16
 //	flashsim -app ocean -sim solo-mipsy -mhz 225
 //	flashsim -app lu -sim simos-mxs -mem numa
+//	flashsim -app gups -p hot_pct=50 -procs 32
+//	flashsim -list-workloads                  # registry: names, parameters
 //	flashsim -sim simos-mipsy -set os.tlb.handler_cycles=65
 //	flashsim -app fft -metrics-out m.json     # per-run counter report
 //	flashsim -app radix -check-coherence      # directory invariant checks
@@ -22,10 +24,8 @@ import (
 	"log"
 	"time"
 
-	"flashsim/internal/apps"
 	"flashsim/internal/cliutil"
 	"flashsim/internal/core"
-	"flashsim/internal/emitter"
 	"flashsim/internal/hw"
 	"flashsim/internal/machine"
 	"flashsim/internal/proto"
@@ -35,20 +35,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		app      = flag.String("app", "fft", "workload: fft, radix, lu, ocean")
-		procs    = flag.Int("procs", 1, "processor count")
-		simName  = flag.String("sim", "hw", "hw, simos-mipsy, simos-mxs, solo-mipsy")
-		mhz      = flag.Int("mhz", 150, "Mipsy clock (150, 225, 300)")
-		mem      = flag.String("mem", "flashlite", "memory system: flashlite, numa")
-		radix    = flag.Int("radix", 256, "radix for the radix workload")
-		unplaced = flag.Bool("unplaced", false, "disable data placement (radix)")
-		tlbBlk   = flag.Bool("tlb-blocked", true, "FFT transpose blocked for the TLB")
-		seed     = flag.Uint64("seed", 1, "jitter/branch seed")
-		fullSize = flag.Bool("full", true, "full (1/16-paper) problem sizes")
-		check    = flag.Bool("check-coherence", false, "verify directory protocol invariants after every operation")
-		cf       = cliutil.Register()
+		procs   = flag.Int("procs", 1, "processor count")
+		simName = flag.String("sim", "hw", "hw, simos-mipsy, simos-mxs, solo-mipsy")
+		mhz     = flag.Int("mhz", 150, "Mipsy clock (150, 225, 300)")
+		mem     = flag.String("mem", "flashlite", "memory system: flashlite, numa")
+		seed    = flag.Uint64("seed", 1, "jitter/branch seed")
+		check   = flag.Bool("check-coherence", false, "verify directory protocol invariants after every operation")
+		wf      = cliutil.RegisterWorkload()
+		cf      = cliutil.Register()
 	)
 	flag.Parse()
+	if err := wf.Finish(); err != nil {
+		log.Fatal(err)
+	}
 	if err := cf.Finish(); err != nil {
 		log.Fatal(err)
 	}
@@ -84,34 +83,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var prog emitter.Program
-	switch *app {
-	case "fft":
-		logN := 16
-		if !*fullSize {
-			logN = 12
-		}
-		prog = apps.FFT(apps.FFTOpts{LogN: logN, Procs: *procs, TLBBlocked: *tlbBlk, Prefetch: true})
-	case "radix":
-		keys := 256 << 10
-		if !*fullSize {
-			keys = 32 << 10
-		}
-		prog = apps.Radix(apps.RadixOpts{Keys: keys, Radix: *radix, Procs: *procs, Unplaced: *unplaced, Verify: true})
-	case "lu":
-		n := 160
-		if !*fullSize {
-			n = 96
-		}
-		prog = apps.LU(apps.LUOpts{N: n, Procs: *procs, Prefetch: true})
-	case "ocean":
-		n := 128
-		if !*fullSize {
-			n = 64
-		}
-		prog = apps.Ocean(apps.OceanOpts{N: n, Procs: *procs, Prefetch: true})
-	default:
-		log.Fatalf("unknown workload %q", *app)
+	prog, _, err := wf.Program(*procs)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	pool, store, err := cf.Pool()

@@ -30,7 +30,6 @@ import (
 	"flashsim/internal/machine"
 	"flashsim/internal/param"
 	"flashsim/internal/runner"
-	"flashsim/internal/serve"
 	"flashsim/internal/sim"
 	"flashsim/internal/trace"
 )
@@ -73,103 +72,61 @@ func usage() {
 }
 
 // workFlags is the workload/config flag block shared by capture and
-// sweep (the subcommands that build an execution-driven run).
+// sweep (the subcommands that build an execution-driven run). The
+// workload itself comes from the registry via the shared -app/-p
+// selection flags.
 type workFlags struct {
-	app      *string
-	procs    *int
-	simName  *string
-	mhz      *int
-	radix    *int
-	unplaced *bool
-	tlbBlk   *bool
-	seed     *uint64
-	fullSize *bool
+	wf      *cliutil.WorkloadFlags
+	procs   *int
+	simName *string
+	mhz     *int
+	seed    *uint64
 }
 
 func addWorkFlags(fs *flag.FlagSet) *workFlags {
 	return &workFlags{
-		app:      fs.String("app", "fft", "workload: fft, radix, lu, ocean"),
-		procs:    fs.Int("procs", 1, "processor count"),
-		simName:  fs.String("sim", "simos-mipsy", "hw, simos-mipsy, simos-mxs, solo-mipsy"),
-		mhz:      fs.Int("mhz", 150, "Mipsy clock (150, 225, 300)"),
-		radix:    fs.Int("radix", 256, "radix for the radix workload"),
-		unplaced: fs.Bool("unplaced", false, "disable data placement (radix)"),
-		tlbBlk:   fs.Bool("tlb-blocked", true, "FFT transpose blocked for the TLB"),
-		seed:     fs.Uint64("seed", 1, "jitter/branch seed"),
-		fullSize: fs.Bool("full", true, "full (1/16-paper) problem sizes"),
+		wf:      cliutil.RegisterWorkloadOn(fs),
+		procs:   fs.Int("procs", 1, "processor count"),
+		simName: fs.String("sim", "simos-mipsy", "hw, simos-mipsy, simos-mxs, solo-mipsy"),
+		mhz:     fs.Int("mhz", 150, "Mipsy clock (150, 225, 300)"),
+		seed:    fs.Uint64("seed", 1, "jitter/branch seed"),
 	}
 }
 
-// spec builds the machine-readable workload spec recorded in the
-// container (and from it, the program).
-func (w *workFlags) spec() (serve.WorkloadSpec, error) {
-	s := serve.WorkloadSpec{Name: *w.app}
-	switch *w.app {
-	case "fft":
-		s.LogN = 16
-		if !*w.fullSize {
-			s.LogN = 12
-		}
-		s.TLBBlocked = w.tlbBlk
-	case "radix":
-		s.Keys = 256 << 10
-		if !*w.fullSize {
-			s.Keys = 32 << 10
-		}
-		s.Radix = *w.radix
-		s.Unplaced = *w.unplaced
-	case "lu":
-		s.N = 160
-		if !*w.fullSize {
-			s.N = 96
-		}
-	case "ocean":
-		s.N = 128
-		if !*w.fullSize {
-			s.N = 64
-		}
-	default:
-		return s, fmt.Errorf("unknown workload %q", *w.app)
-	}
-	return s, nil
-}
-
-func (w *workFlags) config(cf *cliutil.Flags) (machine.Config, error) {
+// simConfig builds a simulator configuration by name (shared with
+// replay, which has no workload flags).
+func simConfig(cf *cliutil.Flags, simName string, procs, mhz int, seed uint64) (machine.Config, error) {
 	var cfg machine.Config
-	switch *w.simName {
+	switch simName {
 	case "hw":
-		cfg = hw.Config(*w.procs, true)
+		cfg = hw.Config(procs, true)
 	case "simos-mipsy":
-		cfg = core.SimOSMipsy(*w.procs, *w.mhz, true)
+		cfg = core.SimOSMipsy(procs, mhz, true)
 	case "simos-mxs":
-		cfg = core.SimOSMXS(*w.procs, true)
+		cfg = core.SimOSMXS(procs, true)
 	case "solo-mipsy":
-		cfg = core.SoloMipsy(*w.procs, *w.mhz, true)
+		cfg = core.SoloMipsy(procs, mhz, true)
 	default:
-		return cfg, fmt.Errorf("unknown simulator %q", *w.simName)
+		return cfg, fmt.Errorf("unknown simulator %q", simName)
 	}
-	cfg.Seed = *w.seed
+	cfg.Seed = seed
 	return cf.Apply(cfg)
 }
 
 func (w *workFlags) build(cf *cliutil.Flags) (machine.Config, emitter.Program, json.RawMessage, error) {
-	spec, err := w.spec()
+	cfg, err := simConfig(cf, *w.simName, *w.procs, *w.mhz, *w.seed)
 	if err != nil {
 		return machine.Config{}, emitter.Program{}, nil, err
 	}
-	cfg, err := w.config(cf)
-	if err != nil {
-		return machine.Config{}, emitter.Program{}, nil, err
-	}
-	prog, err := spec.Program(*w.procs)
+	prog, spec, err := w.wf.Program(*w.procs)
 	if err != nil {
 		return machine.Config{}, emitter.Program{}, nil, err
 	}
 	source, err := json.Marshal(struct {
-		Workload serve.WorkloadSpec `json:"workload"`
-		Sim      string             `json:"sim"`
-		MHz      int                `json:"mhz"`
-		Procs    int                `json:"procs"`
+		Workload json.RawMessage `json:"workload"`
+		Sim      string          `json:"sim"`
+		MHz      int             `json:"mhz"`
+		Procs    int             `json:"procs"`
 	}{spec, *w.simName, *w.mhz, *w.procs})
 	if err != nil {
 		return machine.Config{}, emitter.Program{}, nil, err
@@ -184,6 +141,9 @@ func capture(args []string) error {
 	storeDir := fs.String("store", "", "save into this content-addressed trace store instead of -o")
 	cf := cliutil.RegisterOn(fs)
 	fs.Parse(args)
+	if err := w.wf.Finish(); err != nil {
+		return err
+	}
 	if err := cf.Finish(); err != nil {
 		return err
 	}
@@ -229,7 +189,7 @@ func capture(args []string) error {
 
 	path := *out
 	if path == "" {
-		path = *w.app + ".fltr"
+		path = w.wf.App + ".fltr"
 	}
 	// Route through the shared run-mode dispatch (the capture branch of
 	// ExecuteRun is exactly this subcommand's job).
@@ -325,9 +285,7 @@ func replay(args []string) error {
 		return err
 	}
 	procs := img.Threads()
-	w := workFlags{simName: simName, mhz: mhz, seed: seed, procs: &procs,
-		app: new(string), radix: new(int), unplaced: new(bool), tlbBlk: new(bool), fullSize: new(bool)}
-	cfg, err := w.config(cf)
+	cfg, err := simConfig(cf, *simName, procs, *mhz, *seed)
 	if err != nil {
 		return err
 	}
@@ -419,6 +377,9 @@ func sweep(args []string) error {
 	jsonOut := fs.String("json", "", "write the sweep report as JSON to this file")
 	cf := cliutil.RegisterOn(fs)
 	fs.Parse(args)
+	if err := w.wf.Finish(); err != nil {
+		return err
+	}
 	if err := cf.Finish(); err != nil {
 		return err
 	}

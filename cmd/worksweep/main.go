@@ -1,0 +1,131 @@
+// Command worksweep runs the server-class workload sweep: the
+// tuned-vs-untuned trend study and the sampling-error taxonomy for
+// registry workloads across the widened 32-128-node machine matrix,
+// writing the committed WORKLOAD_SWEEP_<date>.json evidence file.
+//
+// Usage:
+//
+//	worksweep -quick -json WORKLOAD_SWEEP_2026-08-07.json
+//	worksweep -workloads barnes,gups -sizes 32,64
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"flashsim/internal/cliutil"
+	"flashsim/internal/core"
+	"flashsim/internal/harness"
+	"flashsim/internal/workload"
+)
+
+// report is the committed JSON evidence: the widened trend study and
+// sampling taxonomy rows, plus enough provenance to rerun it.
+type report struct {
+	Date      string                     `json:"date"`
+	Scale     string                     `json:"scale"`
+	Sizes     []int                      `json:"sizes"`
+	Workloads []string                   `json:"workloads"`
+	Trend     []harness.WorkloadTrendRow `json:"trend"`
+	Sampling  []harness.SamplingRow      `json:"sampling"`
+	Schedule  map[string]uint64          `json:"schedule"`
+	WallMS    float64                    `json:"wall_ms"`
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		names   = flag.String("workloads", "barnes,gups,oltp,webserve", "comma-separated registry workload names")
+		sizestr = flag.String("sizes", "", "comma-separated node counts (default 32,64,128)")
+		quick   = flag.Bool("quick", false, "use the registry's quick problem sizes")
+		jsonOut = flag.String("json", "", "write the sweep report as JSON to this file")
+		date    = flag.String("date", time.Now().Format("2006-01-02"), "date stamp recorded in the report")
+		cf      = cliutil.Register()
+	)
+	flag.Parse()
+	if err := cf.Finish(); err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := cf.Close(); err != nil {
+			log.Print(err)
+		}
+	}()
+
+	var workloads []string
+	for _, n := range strings.Split(*names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		if _, err := workload.Lookup(n); err != nil {
+			log.Fatal(err)
+		}
+		workloads = append(workloads, n)
+	}
+	sizes := core.WideSizes
+	if *sizestr != "" {
+		sizes = nil
+		for _, s := range strings.Split(*sizestr, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("-sizes: %v", err)
+			}
+			sizes = append(sizes, v)
+		}
+	}
+
+	scale := harness.ScaleFull
+	if *quick {
+		scale = harness.ScaleQuick
+	}
+	pool, _, err := cf.Pool()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := harness.NewSessionWithPool(scale, pool)
+	s.Override = cf.Apply
+
+	t0 := time.Now()
+	data, text, err := s.ExperimentWorkloadSweep(workloads, sizes...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wall := time.Since(t0)
+	fmt.Print(text)
+	fmt.Printf("[sweep took %v; runner: %s]\n", wall.Round(time.Millisecond), pool.Stats())
+
+	if *jsonOut != "" {
+		scaleName := "full"
+		if *quick {
+			scaleName = "quick"
+		}
+		sc := data.Sampling.Schedule
+		rep := report{
+			Date:      *date,
+			Scale:     scaleName,
+			Sizes:     data.Sizes,
+			Workloads: workloads,
+			Trend:     data.Trend,
+			Sampling:  data.Sampling.Rows,
+			Schedule: map[string]uint64{
+				"period": sc.Period, "window": sc.Window, "warmup": sc.Warmup, "phase": sc.Phase,
+			},
+			WallMS: float64(wall.Microseconds()) / 1e3,
+		}
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}

@@ -45,7 +45,7 @@ func main() {
 			Procs: 4,
 			Set:   []param.Setting{{Path: "cpu.clock_mhz", Value: "225"}},
 		},
-		Workload: serve.WorkloadSpec{Name: "fft", LogN: 12},
+		Workload: serve.Workload("fft", map[string]any{"logn": 12}),
 	}
 
 	st, err := c.SubmitRun(ctx, req)

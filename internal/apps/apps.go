@@ -54,13 +54,6 @@ func chunk(n, id, nt int) (lo, hi int) {
 	return
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // log2 returns floor(log2(n)); n must be a power of two in callers.
 func log2(n int) int {
 	k := 0

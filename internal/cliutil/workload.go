@@ -1,0 +1,88 @@
+package cliutil
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"flashsim/internal/emitter"
+	"flashsim/internal/workload"
+)
+
+// Canonical help text for the shared workload flags.
+const (
+	appUsage           = "workload name from the registry (see -list-workloads)"
+	paramsUsage        = "set one workload parameter as key=value (repeatable; see -list-workloads)"
+	fullUsage          = "full (1/16-paper) problem sizes; -full=false selects the quick sizes"
+	listWorkloadsUsage = "print the workload registry and exit"
+)
+
+// WorkloadFlags is the workload-selection flag block shared by the
+// front ends that build a program: -app names a registry entry, -p
+// assigns its parameters, -full switches between the full and quick
+// default sizes.
+type WorkloadFlags struct {
+	App  string
+	Full bool
+
+	listWorkloads bool
+	params        stringList
+}
+
+// RegisterWorkload installs the workload flags on the process flag set.
+func RegisterWorkload() *WorkloadFlags { return RegisterWorkloadOn(flag.CommandLine) }
+
+// RegisterWorkloadOn installs the workload flags on fs.
+func RegisterWorkloadOn(fs *flag.FlagSet) *WorkloadFlags {
+	w := &WorkloadFlags{}
+	fs.StringVar(&w.App, "app", "fft", appUsage)
+	fs.Var(&w.params, "p", paramsUsage)
+	fs.BoolVar(&w.Full, "full", true, fullUsage)
+	fs.BoolVar(&w.listWorkloads, "list-workloads", false, listWorkloadsUsage)
+	return w
+}
+
+// Finish handles -list-workloads and validates -app/-p against the
+// registry, so bad selections fail before any simulation starts.
+func (w *WorkloadFlags) Finish() error {
+	if w.listWorkloads {
+		fmt.Print(workload.Describe())
+		os.Exit(0)
+	}
+	_, _, err := w.Resolve()
+	return err
+}
+
+// Resolve looks the selection up in the registry and validates the -p
+// assignments against its schema.
+func (w *WorkloadFlags) Resolve() (*workload.Definition, workload.Values, error) {
+	def, err := workload.Lookup(w.App)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := workload.ParseAssignments(w.params)
+	if err != nil {
+		return nil, nil, err
+	}
+	vals, err := def.Resolve(raw, !w.Full)
+	if err != nil {
+		return nil, nil, err
+	}
+	return def, vals, nil
+}
+
+// Program builds the selected program at the given thread count, plus
+// the canonical source spec (every parameter resolved) recorded in
+// trace containers.
+func (w *WorkloadFlags) Program(procs int) (emitter.Program, json.RawMessage, error) {
+	def, vals, err := w.Resolve()
+	if err != nil {
+		return emitter.Program{}, nil, err
+	}
+	src, err := workload.EncodeSpec(def.Name, vals)
+	if err != nil {
+		return emitter.Program{}, nil, err
+	}
+	return def.Build(vals, procs), src, nil
+}

@@ -93,6 +93,12 @@ func StandardConfigs(procs int, scaled bool) []machine.Config {
 	}
 }
 
+// WideSizes is the widened machine matrix of the server-class workload
+// studies: the original FLASH prototype sizes stop at 16 nodes, these
+// extend the same scaled geometry to the full hypercube sizes the
+// network model supports.
+var WideSizes = []int{32, 64, 128}
+
 // WithNUMA swaps a configuration's memory system for the generic NUMA
 // model (its latency parameters were "known well in advance of building
 // the hardware", so no tuning applies).

@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"strings"
 
-	"flashsim/internal/apps"
 	"flashsim/internal/core"
-	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
 	"flashsim/internal/proto"
 	"flashsim/internal/snbench"
+	"flashsim/internal/workload"
 )
 
 // Table1 renders the FLASH hardware configuration (Table 1), both the
@@ -413,24 +412,15 @@ func (s *Session) ExperimentMulDiv() (MulDivData, string, error) {
 	return d, text, nil
 }
 
-// defectWorkload maps a defect's workload hint to a concrete workload.
+// defectWorkload maps a defect's workload hint to a concrete workload:
+// hints are registry names, resolved at the session's scale with the
+// registered defaults; hints naming no registered workload fall back
+// to FFT.
 func (s *Session) defectWorkload(hint string) core.Workload {
-	switch hint {
-	case "lu":
-		return s.Scale.LUWorkload()
-	case "radix":
-		return s.Scale.RadixWorkload(256, false)
-	case "cachemgmt":
-		lines, rounds := 256, 8
-		if s.Scale == ScaleQuick {
-			lines, rounds = 64, 2
-		}
-		return core.Workload{Name: "CacheMgmt", Make: func(procs int) emitter.Program {
-			return apps.CacheMgmt(apps.CacheMgmtOpts{Lines: lines, Rounds: rounds, Procs: procs})
-		}}
-	default:
-		return s.Scale.FFTWorkload(true)
+	if _, err := workload.Lookup(hint); err != nil {
+		hint = "fft"
 	}
+	return s.Scale.Workload(hint, nil)
 }
 
 // ExperimentDefects quantifies the historical simulator errors: each

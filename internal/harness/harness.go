@@ -11,11 +11,11 @@ import (
 	"fmt"
 	"strings"
 
-	"flashsim/internal/apps"
 	"flashsim/internal/core"
 	"flashsim/internal/emitter"
 	"flashsim/internal/machine"
 	"flashsim/internal/runner"
+	"flashsim/internal/workload"
 )
 
 // Scale selects experiment problem sizes.
@@ -30,58 +30,42 @@ const (
 	ScaleQuick
 )
 
+// Workload resolves a registered workload at this scale (quick scale
+// selects the registry's quick default sizes) with the given parameter
+// overrides. Names and overrides are internal constants here, so a
+// registry miss is a programming error and panics.
+func (s Scale) Workload(name string, over map[string]any) core.Workload {
+	def, err := workload.Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	vals, err := def.Resolve(over, s == ScaleQuick)
+	if err != nil {
+		panic(err)
+	}
+	return def.Workload(vals)
+}
+
 // FFTWorkload returns the FFT workload; tlbBlocked selects the paper's
 // blocking fix.
 func (s Scale) FFTWorkload(tlbBlocked bool) core.Workload {
-	logN := 16
-	if s == ScaleQuick {
-		logN = 12
-	}
-	name := "FFT"
-	if !tlbBlocked {
-		name = "FFT(cache-blk)"
-	}
-	return core.Workload{Name: name, Make: func(procs int) emitter.Program {
-		return apps.FFT(apps.FFTOpts{LogN: logN, Procs: procs, TLBBlocked: tlbBlocked, Prefetch: true})
-	}}
+	return s.Workload("fft", map[string]any{"tlb_blocked": tlbBlocked})
 }
 
 // RadixWorkload returns Radix-Sort with the given radix; unplaced
 // disables data placement (Figure 7).
 func (s Scale) RadixWorkload(radix int, unplaced bool) core.Workload {
-	keys := 256 << 10
-	if s == ScaleQuick {
-		keys = 32 << 10
-	}
-	name := fmt.Sprintf("Radix(r=%d)", radix)
-	if unplaced {
-		name += "-unplaced"
-	}
-	return core.Workload{Name: name, Make: func(procs int) emitter.Program {
-		return apps.Radix(apps.RadixOpts{Keys: keys, Radix: radix, Procs: procs, Unplaced: unplaced})
-	}}
+	return s.Workload("radix", map[string]any{"radix": radix, "unplaced": unplaced})
 }
 
 // LUWorkload returns the blocked LU workload.
 func (s Scale) LUWorkload() core.Workload {
-	n := 160
-	if s == ScaleQuick {
-		n = 96
-	}
-	return core.Workload{Name: "LU", Make: func(procs int) emitter.Program {
-		return apps.LU(apps.LUOpts{N: n, Procs: procs, Prefetch: true})
-	}}
+	return s.Workload("lu", nil)
 }
 
 // OceanWorkload returns the Ocean workload.
 func (s Scale) OceanWorkload() core.Workload {
-	n, grids, iters := 128, 14, 4
-	if s == ScaleQuick {
-		n, grids, iters = 64, 8, 2
-	}
-	return core.Workload{Name: "Ocean", Make: func(procs int) emitter.Program {
-		return apps.Ocean(apps.OceanOpts{N: n, Grids: grids, Iters: iters, Procs: procs, Prefetch: true})
-	}}
+	return s.Workload("ocean", nil)
 }
 
 // InitialApps returns the four SPLASH-2 workloads as originally tuned

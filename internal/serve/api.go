@@ -21,16 +21,15 @@
 package serve
 
 import (
+	"encoding/json"
 	"fmt"
 
-	"flashsim/internal/apps"
 	"flashsim/internal/core"
 	"flashsim/internal/emitter"
 	"flashsim/internal/hw"
 	"flashsim/internal/machine"
 	"flashsim/internal/param"
-	"flashsim/internal/proto"
-	"flashsim/internal/snbench"
+	"flashsim/internal/workload"
 )
 
 // JobKind discriminates what a job computes.
@@ -82,102 +81,59 @@ type JobStatus struct {
 	FinishedMS  int64 `json:"finished_ms,omitempty"`
 }
 
-// WorkloadSpec selects a program by name plus parameters. Zero-valued
-// fields take the workload's documented defaults (apps default to
-// prefetching like the SPLASH-2 binaries; fft defaults to the
-// TLB-blocked fix).
+// WorkloadSpec selects a program from the workload registry: a name
+// plus parameter assignments. Omitted parameters take the workload's
+// registered full-scale defaults; unknown names and parameters are
+// rejected against the registry's schemas. On the wire the spec is
+// flat — {"name": "fft", "logn": 12} — exactly what a human writes in
+// a flashd job file.
 type WorkloadSpec struct {
-	// Name is one of: fft, radix, lu, ocean, snbench.dependent-loads,
-	// snbench.tlb-timer, snbench.restart.
-	Name string `json:"name"`
-
-	// fft
-	LogN       int   `json:"logn,omitempty"`
-	TLBBlocked *bool `json:"tlb_blocked,omitempty"`
-	Prefetch   *bool `json:"prefetch,omitempty"`
-	// radix
-	Keys     int  `json:"keys,omitempty"`
-	Radix    int  `json:"radix,omitempty"`
-	Unplaced bool `json:"unplaced,omitempty"`
-	// lu / ocean
-	N     int `json:"n,omitempty"`
-	Grids int `json:"grids,omitempty"`
-	Iters int `json:"iters,omitempty"`
-	// snbench.dependent-loads: Case names a proto.Case (local-clean,
-	// local-dirty-remote, remote-clean, remote-dirty-home,
-	// remote-dirty-remote); Lines the chase length.
-	Case  string `json:"case,omitempty"`
-	Lines int    `json:"lines,omitempty"`
-	// snbench.tlb-timer
-	Pages    int `json:"pages,omitempty"`
-	FitPages int `json:"fit_pages,omitempty"`
-	Rounds   int `json:"rounds,omitempty"`
+	Name   string
+	Params map[string]any
 }
 
-// boolOr returns *p or def.
-func boolOr(p *bool, def bool) bool {
-	if p == nil {
-		return def
+// Workload builds a spec; params may be nil for all-defaults.
+func Workload(name string, params map[string]any) WorkloadSpec {
+	return WorkloadSpec{Name: name, Params: params}
+}
+
+// MarshalJSON renders the canonical flat object with parameters in
+// sorted order, the form stored as a capture's source metadata.
+func (w WorkloadSpec) MarshalJSON() ([]byte, error) {
+	return workload.EncodeSpec(w.Name, w.Params)
+}
+
+// UnmarshalJSON accepts the flat wire object. Validation happens at
+// Program time, against the registry schema — here only the shape is
+// checked, so decode errors and parameter errors stay distinguishable.
+func (w *WorkloadSpec) UnmarshalJSON(data []byte) error {
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("workload spec: %w", err)
 	}
-	return *p
+	name, _ := raw["name"].(string)
+	delete(raw, "name")
+	w.Name = name
+	if len(raw) > 0 {
+		w.Params = raw
+	} else {
+		w.Params = nil
+	}
+	return nil
 }
 
-// Program builds the workload at the given thread count.
+// Program builds the workload at the given thread count via the
+// registry.
 func (w WorkloadSpec) Program(procs int) (emitter.Program, error) {
-	switch w.Name {
-	case "fft":
-		return apps.FFT(apps.FFTOpts{
-			LogN:       w.LogN,
-			Procs:      procs,
-			TLBBlocked: boolOr(w.TLBBlocked, true),
-			Prefetch:   boolOr(w.Prefetch, true),
-		}), nil
-	case "radix":
-		return apps.Radix(apps.RadixOpts{
-			Keys:     w.Keys,
-			Radix:    w.Radix,
-			Procs:    procs,
-			Unplaced: w.Unplaced,
-		}), nil
-	case "lu":
-		return apps.LU(apps.LUOpts{
-			N:        w.N,
-			Procs:    procs,
-			Prefetch: boolOr(w.Prefetch, true),
-		}), nil
-	case "ocean":
-		return apps.Ocean(apps.OceanOpts{
-			N:        w.N,
-			Grids:    w.Grids,
-			Iters:    w.Iters,
-			Procs:    procs,
-			Prefetch: boolOr(w.Prefetch, true),
-		}), nil
-	case "snbench.dependent-loads":
-		pc, err := parseCase(w.Case)
-		if err != nil {
-			return emitter.Program{}, err
-		}
-		return snbench.DependentLoads(pc, w.Lines), nil
-	case "snbench.tlb-timer":
-		return snbench.TLBTimer(w.Pages, w.FitPages, w.Rounds), nil
-	case "snbench.restart":
-		return snbench.Restart(w.Lines), nil
-	case "":
-		return emitter.Program{}, fmt.Errorf("workload name missing")
-	default:
-		return emitter.Program{}, fmt.Errorf("unknown workload %q", w.Name)
+	def, err := workload.Lookup(w.Name)
+	if err != nil {
+		return emitter.Program{}, err
 	}
-}
-
-// parseCase resolves a protocol-case name.
-func parseCase(name string) (proto.Case, error) {
-	for c := proto.Case(0); c < proto.NumCases; c++ {
-		if c.String() == name {
-			return c, nil
-		}
+	vals, err := def.Resolve(w.Params, false)
+	if err != nil {
+		return emitter.Program{}, err
 	}
-	return 0, fmt.Errorf("unknown protocol case %q (want e.g. %q)", name, proto.RemoteClean.String())
+	return def.Build(vals, procs), nil
 }
 
 // ConfigSpec selects a simulator configuration: a named base plus
@@ -235,6 +191,14 @@ func (s SamplingSpec) schedule() machine.SamplingConfig {
 	sc.Phase = s.PhaseInstrs
 	sc.ColdState = s.ColdState
 	return sc
+}
+
+// boolOr returns *p or def.
+func boolOr(p *bool, def bool) bool {
+	if p == nil {
+		return def
+	}
+	return *p
 }
 
 // Config materializes the spec through core's constructors and the

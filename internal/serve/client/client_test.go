@@ -31,7 +31,7 @@ func newPair(t *testing.T, opts serve.Options) (*serve.Server, *client.Client) {
 func restartReq(lines int) serve.RunRequest {
 	return serve.RunRequest{
 		ConfigSpec: serve.ConfigSpec{Base: "simos-mipsy"},
-		Workload:   serve.WorkloadSpec{Name: "snbench.restart", Lines: lines},
+		Workload:   serve.Workload("snbench.restart", map[string]any{"lines": lines}),
 	}
 }
 

@@ -1,0 +1,364 @@
+// Package workload is the central workload registry: every program the
+// simulator can run — the SPLASH-2-style kernels, the server-class
+// generators, and the calibration microbenchmarks — is registered here
+// by name with a typed, validated parameter schema and a generator
+// constructor. The CLIs (-app/-p), the harness experiments, and the
+// flashd {workload:{...}} job specs all resolve workloads through this
+// one table, so a single registration makes a workload reachable from
+// every execution mode: exec, sampled, sharded, trace capture/replay,
+// and served.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"flashsim/internal/core"
+	"flashsim/internal/emitter"
+)
+
+// Kind is a parameter's type.
+type Kind uint8
+
+const (
+	Int Kind = iota
+	Bool
+	String
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Bool:
+		return "bool"
+	case String:
+		return "string"
+	}
+	return "?"
+}
+
+// Param describes one typed parameter of a workload. Parameter names
+// double as the JSON keys of flashd workload specs and the -p key=value
+// keys of the CLIs.
+type Param struct {
+	Name  string
+	Kind  Kind
+	Usage string
+	// Default is the full-scale default; Quick, when non-nil, replaces
+	// it at quick scale (tests, smoke runs, CI).
+	Default any
+	Quick   any
+	// Min/Max bound Int parameters (enforced when Max > Min).
+	Min, Max int
+	// Enum restricts String parameters to these values when non-empty.
+	Enum []string
+}
+
+// Values is a resolved, validated parameter assignment: every parameter
+// of the definition present, typed int/bool/string.
+type Values map[string]any
+
+// Int returns an int parameter (panics on a name not in the schema —
+// a registry bug, not an input error).
+func (v Values) Int(name string) int {
+	i, ok := v[name].(int)
+	if !ok {
+		panic(fmt.Sprintf("workload: no int value %q", name))
+	}
+	return i
+}
+
+// Bool returns a bool parameter.
+func (v Values) Bool(name string) bool {
+	b, ok := v[name].(bool)
+	if !ok {
+		panic(fmt.Sprintf("workload: no bool value %q", name))
+	}
+	return b
+}
+
+// Str returns a string parameter.
+func (v Values) Str(name string) string {
+	s, ok := v[name].(string)
+	if !ok {
+		panic(fmt.Sprintf("workload: no string value %q", name))
+	}
+	return s
+}
+
+// Definition is one registered workload.
+type Definition struct {
+	// Name is the registry key ("fft", "gups", "snbench.restart", ...).
+	Name string
+	// Description is the one-line summary shown by -list-workloads.
+	Description string
+	// Params is the parameter schema, in display order.
+	Params []Param
+	// Build constructs the program for a complete, validated Values at
+	// the given thread count. (Microbenchmarks with intrinsic thread
+	// counts may ignore procs.)
+	Build func(v Values, procs int) emitter.Program
+	// Label renders the study display name ("FFT(cache-blk)",
+	// "Radix(r=32)-unplaced"); nil falls back to Name.
+	Label func(v Values) string
+}
+
+// param looks up a schema entry by name.
+func (d *Definition) param(name string) (Param, bool) {
+	for _, p := range d.Params {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Param{}, false
+}
+
+// registry is the global name -> definition table, populated by
+// Register calls from init functions.
+var registry = map[string]*Definition{}
+
+// Register adds a definition; duplicate names are a programming error.
+func Register(d Definition) {
+	if d.Name == "" || d.Build == nil {
+		panic("workload: Register needs a name and a builder")
+	}
+	if _, dup := registry[d.Name]; dup {
+		panic("workload: duplicate registration of " + d.Name)
+	}
+	registry[d.Name] = &d
+}
+
+// Names returns every registered workload name, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every definition in name order.
+func All() []*Definition {
+	defs := make([]*Definition, 0, len(registry))
+	for _, n := range Names() {
+		defs = append(defs, registry[n])
+	}
+	return defs
+}
+
+// Lookup resolves a workload name. The error on a miss lists every
+// registered name, so a typo on a CLI flag or in a flashd job spec is
+// self-correcting.
+func Lookup(name string) (*Definition, error) {
+	if name == "" {
+		return nil, fmt.Errorf("workload name missing (registered: %s)", strings.Join(Names(), ", "))
+	}
+	d, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	return d, nil
+}
+
+// Describe renders the registry as the -list-workloads text: one
+// unindented line per workload followed by its parameter schema.
+func Describe() string {
+	var b strings.Builder
+	for _, d := range All() {
+		fmt.Fprintf(&b, "%s\n    %s\n", d.Name, d.Description)
+		for _, p := range d.Params {
+			def := fmt.Sprintf("%v", p.Default)
+			if p.Quick != nil {
+				def += fmt.Sprintf(", quick %v", p.Quick)
+			}
+			fmt.Fprintf(&b, "    %-16s %-6s %s (default %s)\n", p.Name, p.Kind, p.Usage, def)
+		}
+	}
+	return b.String()
+}
+
+// Resolve validates a raw parameter assignment against the schema and
+// fills the remaining parameters with defaults (Quick defaults when
+// quick is set). Raw values may be native Go values, JSON-decoded
+// values (float64 numbers), or strings (CLI -p key=value); unknown
+// names, type mismatches, bounds violations, and enum misses all fail
+// with the accepted parameter list in the message.
+func (d *Definition) Resolve(raw map[string]any, quick bool) (Values, error) {
+	vals := make(Values, len(d.Params))
+	for name, rv := range raw {
+		p, ok := d.param(name)
+		if !ok {
+			return nil, fmt.Errorf("workload %s: unknown parameter %q (accepts: %s)",
+				d.Name, name, strings.Join(d.paramNames(), ", "))
+		}
+		v, err := coerce(p, rv)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: parameter %s: %w", d.Name, name, err)
+		}
+		vals[name] = v
+	}
+	for _, p := range d.Params {
+		if _, ok := vals[p.Name]; ok {
+			continue
+		}
+		def := p.Default
+		if quick && p.Quick != nil {
+			def = p.Quick
+		}
+		v, err := coerce(p, def)
+		if err != nil {
+			panic(fmt.Sprintf("workload %s: bad default for %s: %v", d.Name, p.Name, err))
+		}
+		vals[p.Name] = v
+	}
+	return vals, nil
+}
+
+func (d *Definition) paramNames() []string {
+	names := make([]string, len(d.Params))
+	for i, p := range d.Params {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// coerce converts a raw value to the parameter's type and checks its
+// bounds.
+func coerce(p Param, rv any) (any, error) {
+	switch p.Kind {
+	case Int:
+		var i int
+		switch x := rv.(type) {
+		case int:
+			i = x
+		case int64:
+			i = int(x)
+		case uint64:
+			i = int(x)
+		case float64:
+			if x != float64(int(x)) {
+				return nil, fmt.Errorf("want an integer, got %v", x)
+			}
+			i = int(x)
+		case json.Number:
+			n, err := x.Int64()
+			if err != nil {
+				return nil, fmt.Errorf("want an integer, got %v", x)
+			}
+			i = int(n)
+		case string:
+			n, err := strconv.Atoi(x)
+			if err != nil {
+				return nil, fmt.Errorf("want an integer, got %q", x)
+			}
+			i = n
+		default:
+			return nil, fmt.Errorf("want an integer, got %T", rv)
+		}
+		if p.Max > p.Min && (i < p.Min || i > p.Max) {
+			return nil, fmt.Errorf("%d out of range [%d, %d]", i, p.Min, p.Max)
+		}
+		return i, nil
+	case Bool:
+		switch x := rv.(type) {
+		case bool:
+			return x, nil
+		case string:
+			b, err := strconv.ParseBool(x)
+			if err != nil {
+				return nil, fmt.Errorf("want a bool, got %q", x)
+			}
+			return b, nil
+		default:
+			return nil, fmt.Errorf("want a bool, got %T", rv)
+		}
+	case String:
+		s, ok := rv.(string)
+		if !ok {
+			return nil, fmt.Errorf("want a string, got %T", rv)
+		}
+		if len(p.Enum) > 0 {
+			for _, e := range p.Enum {
+				if s == e {
+					return s, nil
+				}
+			}
+			return nil, fmt.Errorf("%q is not one of %s", s, strings.Join(p.Enum, ", "))
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("unhandled kind %v", p.Kind)
+}
+
+// DisplayName renders the study label for a resolved assignment.
+func (d *Definition) DisplayName(v Values) string {
+	if d.Label != nil {
+		return d.Label(v)
+	}
+	return d.Name
+}
+
+// Workload adapts a resolved definition to the core.Workload shape the
+// Reference/Study/TrendAnalyzer machinery consumes.
+func (d *Definition) Workload(v Values) core.Workload {
+	return core.Workload{
+		Name: d.DisplayName(v),
+		Make: func(procs int) emitter.Program { return d.Build(v, procs) },
+	}
+}
+
+// ParseAssignments parses CLI key=value pairs into a raw map for
+// Resolve (values stay strings; Resolve coerces per schema).
+func ParseAssignments(pairs []string) (map[string]any, error) {
+	if len(pairs) == 0 {
+		return nil, nil
+	}
+	raw := make(map[string]any, len(pairs))
+	for _, kv := range pairs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("workload parameter %q: want key=value", kv)
+		}
+		raw[k] = v
+	}
+	return raw, nil
+}
+
+// EncodeSpec renders a workload selection as the canonical JSON object
+// of the flashd job specs and trace-container source metadata:
+// {"name": ..., <param>: <value>, ...} with parameters sorted by name.
+func EncodeSpec(name string, params map[string]any) (json.RawMessage, error) {
+	var b strings.Builder
+	b.WriteString(`{"name":`)
+	nb, err := json.Marshal(name)
+	if err != nil {
+		return nil, err
+	}
+	b.Write(nb)
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		vb, err := json.Marshal(params[k])
+		if err != nil {
+			return nil, err
+		}
+		b.WriteByte(',')
+		b.Write(kb)
+		b.WriteByte(':')
+		b.Write(vb)
+	}
+	b.WriteByte('}')
+	return json.RawMessage(b.String()), nil
+}
